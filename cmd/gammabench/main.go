@@ -1,0 +1,56 @@
+// Command gammabench regenerates the paper's tables and figures on the
+// simulated Gamma and Teradata machines.
+//
+// Usage:
+//
+//	gammabench [-quick] [-list] [experiment ...]
+//
+// With no experiment arguments every registered experiment runs. -quick uses
+// reduced relation sizes for a fast smoke run; the default is paper scale
+// (10k/100k/1M tuples), which regenerates every published number.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gamma/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced relation sizes")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Full()
+	if *quick {
+		opts = bench.Quick()
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gammabench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tbl := e.Run(opts)
+		tbl.Render(os.Stdout)
+		fmt.Printf("   [%s regenerated in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

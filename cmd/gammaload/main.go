@@ -1,0 +1,51 @@
+// Command gammaload explores Gamma's four declustering strategies (§2):
+// it loads a Wisconsin relation under each strategy and reports fragment
+// balance plus the response time of an exact-match and a range selection,
+// showing why the strategy choice matters per workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gamma/internal/config"
+	"gamma/internal/core"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wisconsin"
+)
+
+func main() {
+	nDisk := flag.Int("disk", 8, "processors with disks")
+	tuples := flag.Int("tuples", 20000, "relation cardinality")
+	flag.Parse()
+
+	strategies := []core.PartStrategy{core.RoundRobin, core.Hashed, core.RangeUniform}
+	ts := wisconsin.Generate(*tuples, 1)
+
+	fmt.Printf("%-16s %-24s %14s %14s\n", "strategy", "fragment sizes", "exact-match", "1% range")
+	for _, strat := range strategies {
+		prm := config.Default()
+		m := core.NewMachine(sim.New(), &prm, *nDisk, 0)
+		r := m.Load(core.LoadSpec{Name: "A", Strategy: strat, PartAttr: rel.Unique1}, ts)
+
+		sizes := ""
+		for i, fr := range r.Frags {
+			if i > 0 {
+				sizes += "/"
+			}
+			sizes += fmt.Sprint(fr.File.Len())
+		}
+
+		exact := m.RunSelect(core.SelectQuery{
+			Scan:   core.ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, int32(*tuples/2)), Path: core.PathHeap},
+			ToHost: true,
+		})
+		rng := m.RunSelect(core.SelectQuery{
+			Scan: core.ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, int32(*tuples/100-1)), Path: core.PathHeap},
+		})
+		fmt.Printf("%-16s %-24s %13.2fs %13.2fs\n", strat, sizes, exact.Elapsed.Seconds(), rng.Elapsed.Seconds())
+	}
+	fmt.Println("\nHashed partitioning directs exact-match queries on the key to a single site;")
+	fmt.Println("range partitioning additionally confines range queries on the key (§2).")
+}

@@ -1,0 +1,60 @@
+// Quickstart: build the paper's standard Gamma configuration, load a
+// Wisconsin benchmark relation, and run one of each query class.
+package main
+
+import (
+	"fmt"
+
+	"gamma"
+)
+
+func main() {
+	// The standard configuration of §2: 8 processors with disks, 8
+	// diskless join processors (plus host and scheduler).
+	m := gamma.New(8, 8, nil)
+
+	// Load the 10,000-tuple Wisconsin relation, hash-declustered on
+	// unique1 with a clustered index on unique1 and a dense secondary
+	// index on unique2 — exactly the paper's benchmark database (§4).
+	u1 := gamma.Unique1
+	tenk := m.Load(gamma.LoadSpec{
+		Name:                "tenktup",
+		Strategy:            gamma.Hashed,
+		PartAttr:            gamma.Unique1,
+		ClusteredIndex:      &u1,
+		NonClusteredIndexes: []gamma.Attr{gamma.Unique2},
+	}, gamma.Wisconsin(10000, 1))
+
+	// A 1% selection; the optimizer picks the access path (here the
+	// clustered index, since the predicate is on unique1).
+	sel := m.RunSelect(gamma.SelectQuery{
+		Scan: gamma.ScanSpec{Rel: tenk, Pred: gamma.Between(gamma.Unique1, 0, 99)},
+	})
+	fmt.Printf("1%% selection:      %4d tuples in %8.3fs simulated\n", sel.Tuples, sel.Elapsed.Seconds())
+
+	// joinABprime: join with a relation a tenth the size (§6).
+	bprime := m.Load(gamma.LoadSpec{
+		Name: "bprime", Strategy: gamma.Hashed, PartAttr: gamma.Unique1,
+	}, gamma.Wisconsin(1000, 7))
+	join := m.RunJoin(gamma.JoinQuery{
+		Build: gamma.ScanSpec{Rel: bprime, Pred: gamma.All()}, BuildAttr: gamma.Unique2,
+		Probe: gamma.ScanSpec{Rel: tenk, Pred: gamma.All()}, ProbeAttr: gamma.Unique2,
+		Mode: gamma.Remote,
+	})
+	fmt.Printf("joinABprime:       %4d tuples in %8.3fs simulated\n", join.Tuples, join.Elapsed.Seconds())
+
+	// A grouped aggregate on the diskless processors.
+	by := gamma.Ten
+	agg := m.RunAgg(gamma.AggQuery{
+		Scan: gamma.ScanSpec{Rel: tenk, Pred: gamma.All()},
+		Fn:   gamma.Min, Attr: gamma.Unique1, GroupBy: &by, Mode: gamma.Remote,
+	})
+	fmt.Printf("min by ten:        %4d groups in %8.3fs simulated\n", len(agg.Groups), agg.Elapsed.Seconds())
+
+	// A single-tuple update through the clustered index.
+	upd := m.RunUpdate(gamma.UpdateQuery{
+		Rel: tenk, Kind: gamma.ModifyNonIndexed,
+		Key: 4242, Attr: gamma.OddOnePercent, NewValue: 1,
+	})
+	fmt.Printf("modify 1 tuple:    %4d tuple  in %8.3fs simulated\n", upd.Tuples, upd.Elapsed.Seconds())
+}

@@ -1,0 +1,31 @@
+// Speedup: reproduce the shape of Figures 1-2 — near-linear selection
+// speedup as processors (and disks) are added, with the total database size
+// held constant.
+package main
+
+import (
+	"fmt"
+
+	"gamma"
+)
+
+func main() {
+	const n = 50000
+	fmt.Println("Non-indexed 1% selection on a 50,000-tuple relation (Figures 1-2 shape):")
+	fmt.Printf("%-12s %12s %10s\n", "processors", "response(s)", "speedup")
+	var base float64
+	for d := 1; d <= 8; d++ {
+		m := gamma.New(d, d, nil)
+		r := m.Load(gamma.LoadSpec{
+			Name: "A", Strategy: gamma.Hashed, PartAttr: gamma.Unique1,
+		}, gamma.Wisconsin(n, 1))
+		res := m.RunSelect(gamma.SelectQuery{
+			Scan: gamma.ScanSpec{Rel: r, Pred: gamma.Between(gamma.Unique2, 0, n/100-1), Path: gamma.PathHeap},
+		})
+		secs := res.Elapsed.Seconds()
+		if d == 1 {
+			base = secs
+		}
+		fmt.Printf("%-12d %12.2f %10.2f\n", d, secs, base/secs)
+	}
+}

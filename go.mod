@@ -1,0 +1,3 @@
+module gamma
+
+go 1.22

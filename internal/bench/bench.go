@@ -1,0 +1,207 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5-§7): it builds the benchmark database on simulated Gamma
+// and Teradata machines, runs the exact query suites, and renders the same
+// rows and series the paper reports, with the paper's published numbers
+// alongside for comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gamma/internal/config"
+	"gamma/internal/core"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wisconsin"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Sizes are the source-relation cardinalities for Tables 1-3. The
+	// paper uses 10,000 / 100,000 / 1,000,000.
+	Sizes []int
+	// FigureTuples is the relation size for the figure sweeps (the paper
+	// uses the 100,000-tuple relations).
+	FigureTuples int
+	// MaxProcs is the largest processor count in the speedup sweeps.
+	MaxProcs int
+	// Params overrides the default machine parameters.
+	Params *config.Params
+}
+
+// Full returns the paper-scale options.
+func Full() Options {
+	return Options{Sizes: []int{10000, 100000, 1000000}, FigureTuples: 100000, MaxProcs: 8}
+}
+
+// Quick returns reduced options for fast regression runs: Tables at 10k and
+// 100k, figure sweeps on a 20,000-tuple relation.
+func Quick() Options {
+	return Options{Sizes: []int{10000, 100000}, FigureTuples: 20000, MaxProcs: 8}
+}
+
+func (o Options) params() config.Params {
+	if o.Params != nil {
+		return *o.Params
+	}
+	return config.Default()
+}
+
+// Cell is one measured value with an optional published reference.
+type Cell struct {
+	Measured float64 // seconds (or unit of the table)
+	Paper    float64 // 0 = not published
+	Extra    string  // annotation such as an overflow count
+}
+
+// Row is one labelled line of a result table.
+type Row struct {
+	Label string
+	Cells []Cell
+}
+
+// Table is one regenerated paper artifact.
+type Table struct {
+	ID      string
+	Title   string
+	Unit    string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Render writes the table as aligned text, showing measured values and, in
+// brackets, the paper's published value where one exists.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(w, "   (values in %s; [brackets] = paper's published value)\n", t.Unit)
+	}
+	width := 10
+	label := 46
+	fmt.Fprintf(w, "%-*s", label, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %*s", width+10, c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", label, r.Label)
+		for _, c := range r.Cells {
+			val := fmt.Sprintf("%.2f", c.Measured)
+			if c.Extra != "" {
+				val += "(" + c.Extra + ")"
+			}
+			ref := strings.Repeat(" ", 10)
+			if c.Paper != 0 {
+				ref = fmt.Sprintf("[%8.2f]", c.Paper)
+			}
+			fmt.Fprintf(w, " %*s%s", width, val, ref)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) *Table
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(o Options) *Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments lists all registered experiments in a stable order.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- machine setup -------------------------------------------------------
+
+// gammaSetup is one Gamma machine with the standard benchmark relations.
+type gammaSetup struct {
+	m *core.Machine
+	// heap: no indices (the "nonindexed" rows). idx: clustered on
+	// unique1, dense on unique2 (the indexed rows).
+	heap *core.Relation
+	idx  *core.Relation
+}
+
+// newGamma builds a Gamma machine with nDisk+nDiskless processors and loads
+// an n-tuple relation in both physical versions.
+func newGamma(prm config.Params, nDisk, nDiskless, n int, seed uint64) *gammaSetup {
+	s := sim.New()
+	p := prm
+	m := core.NewMachine(s, &p, nDisk, nDiskless)
+	ts := wisconsin.Generate(n, seed)
+	u1 := rel.Unique1
+	g := &gammaSetup{m: m}
+	g.heap = m.Load(core.LoadSpec{Name: "Aheap", Strategy: core.Hashed, PartAttr: rel.Unique1}, ts)
+	g.idx = m.Load(core.LoadSpec{
+		Name: "Aidx", Strategy: core.Hashed, PartAttr: rel.Unique1,
+		ClusteredIndex: &u1, NonClusteredIndexes: []rel.Attr{rel.Unique2},
+	}, ts)
+	return g
+}
+
+// loadExtra loads an additional heap relation on the same machine.
+func (g *gammaSetup) loadExtra(name string, n int, seed uint64) *core.Relation {
+	return g.m.Load(core.LoadSpec{Name: name, Strategy: core.Hashed, PartAttr: rel.Unique1},
+		wisconsin.Generate(n, seed))
+}
+
+// selectSecs runs a selection and returns simulated seconds, dropping the
+// result relation so repeated queries don't accumulate state.
+func (g *gammaSetup) selectSecs(q core.SelectQuery) float64 {
+	res := g.m.RunSelect(q)
+	if res.ResultName != "" {
+		g.m.Drop(res.ResultName)
+	}
+	return res.Elapsed.Seconds()
+}
+
+// joinRun runs a join and drops its result relation.
+func (g *gammaSetup) joinRun(q core.JoinQuery) core.Result {
+	res := g.m.RunJoin(q)
+	if res.ResultName != "" {
+		g.m.Drop(res.ResultName)
+	}
+	return res
+}
+
+// genRel materializes an n-tuple Wisconsin relation.
+func genRel(n int, seed uint64) []rel.Tuple { return wisconsin.Generate(n, seed) }
+
+// pct builds the paper's selection predicates: percent of the n-tuple
+// relation on the given attribute (0 => empty result).
+func pct(attr rel.Attr, n int, percent float64) rel.Pred {
+	k := int32(float64(n) * percent / 100)
+	if k <= 0 {
+		// 0% selection: an empty range on the same attribute, so index
+		// plans still know which index to probe.
+		return rel.Between(attr, -2, -1)
+	}
+	return rel.Between(attr, 0, k-1)
+}

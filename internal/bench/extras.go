@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"fmt"
+
+	"gamma/internal/core"
+	"gamma/internal/rel"
+)
+
+func init() {
+	register("aggregate", "Aggregate queries (deferred to [DEWI88] by the paper)", runAggregate)
+	register("hybrid", "Ablation: Simple vs Hybrid hash join under memory pressure (§8)", runHybrid)
+	register("bitvector", "Ablation: Babb bit-vector filters in split tables (§2)", runBitVector)
+	register("pagesize-default", "Ablation: 4 KB vs 8 KB default page size (§8)", runPageSizeDefault)
+	register("multiuser", "Multiuser: Remote joins shield concurrent selections (§6.2.1's deferred validation)", runMultiuser)
+	register("recovery", "Ablation: the §8 recovery server's cost on the Table 1/3 workload", runRecovery)
+	register("scaleup", "Scaleup: constant per-processor data as processors grow", runScaleup)
+}
+
+// runScaleup grows the database with the machine (12,500 tuples per disk
+// processor, the paper's standard density) — the scaleup metric the Gamma
+// group made standard in its later work. Perfect scaleup is a flat response
+// time.
+func runScaleup(o Options) *Table {
+	t := &Table{
+		ID:      "scaleup",
+		Title:   "Scaleup: 12,500 tuples per processor as processors grow",
+		Unit:    "seconds (flat = perfect scaleup)",
+		Columns: []string{"1% selection", "joinABprime"},
+	}
+	perProc := 12500
+	for d := 1; d <= o.MaxProcs; d++ {
+		n := perProc * d
+		g := newGamma(o.params(), d, d, n, 1)
+		bp := g.loadExtra("Bprime", n/10, 7)
+		sel := g.selectSecs(core.SelectQuery{
+			Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 1), Path: core.PathHeap},
+		})
+		join := g.joinRun(core.JoinQuery{
+			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique2,
+			Mode:            core.Remote,
+			MemPerJoinBytes: ampleJoinMemory,
+		})
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d processors, %d tuples", d, n),
+			Cells: []Cell{{Measured: sel}, {Measured: join.Elapsed.Seconds()}},
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape: near-flat curves; mild growth from scheduler initiation and the",
+		"declining short-circuit fraction — the same effects that bend the Figure 2 speedups.")
+	return t
+}
+
+// runRecovery quantifies the full-recovery machinery §8 announces: the same
+// selection and update workload with and without log shipping to the
+// recovery server. The paper notes Gamma's numbers benefit from its lack of
+// full recovery (§4, §7) — this measures how much.
+func runRecovery(o Options) *Table {
+	t := &Table{
+		ID:      "recovery",
+		Title:   "Log shipping to a recovery server: off vs on",
+		Unit:    "seconds",
+		Columns: []string{"no logging", "with recovery server"},
+	}
+	n := o.FigureTuples
+	type wl struct {
+		label string
+		run   func(g *gammaSetup) float64
+	}
+	workloads := []wl{
+		{"10% nonindexed selection (stored)", func(g *gammaSetup) float64 {
+			return g.selectSecs(core.SelectQuery{Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 10), Path: core.PathHeap}})
+		}},
+		{"1% clustered index selection (stored)", func(g *gammaSetup) float64 {
+			return g.selectSecs(core.SelectQuery{Scan: core.ScanSpec{Rel: g.idx, Pred: pct(rel.Unique1, n, 1), Path: core.PathClustered}})
+		}},
+		{"append 1 tuple (one index)", func(g *gammaSetup) float64 {
+			var tp rel.Tuple
+			tp.Set(rel.Unique1, int32(n+3))
+			tp.Set(rel.Unique2, int32(n+3))
+			return g.m.RunUpdate(core.UpdateQuery{Rel: g.idx, Kind: core.AppendTuple, Tuple: tp}).Elapsed.Seconds()
+		}},
+	}
+	for _, w := range workloads {
+		row := Row{Label: w.label}
+		for _, enable := range []bool{false, true} {
+			g := newGamma(o.params(), 8, 8, n, 1)
+			if enable {
+				g.m.EnableRecovery()
+			}
+			row.Cells = append(row.Cells, Cell{Measured: w.run(g)})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"Log records for stored result tuples and update images ship to a dedicated recovery-server",
+		"processor in page-sized batches; commit points force the tail of the log (§8 future work, built).")
+	return t
+}
+
+// runMultiuser validates the expectation §6.2.1 records for "future
+// multiuser benchmarks": offloading join operators to the diskless
+// processors lets the disk processors support concurrent selections better.
+func runMultiuser(o Options) *Table {
+	t := &Table{
+		ID:      "multiuser",
+		Title:   "joinABprime concurrent with 1% selections: Local vs Remote placement",
+		Unit:    "seconds",
+		Columns: []string{"join", "selection avg"},
+	}
+	n := o.FigureTuples
+	for _, mode := range []core.JoinMode{core.Local, core.Remote, core.AllNodes} {
+		g := newGamma(o.params(), 8, 8, n, 1)
+		bp := g.loadExtra("Bprime", n/10, 7)
+		join := core.JoinQuery{
+			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique2,
+			Mode: mode, MemPerJoinBytes: ampleJoinMemory,
+		}
+		sel := core.SelectQuery{Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 1), Path: core.PathHeap}}
+		rs := g.m.RunConcurrent([]core.ConcurrentQuery{
+			{Join: &join}, {Select: &sel}, {Select: &sel},
+		})
+		label := map[core.JoinMode]string{core.Local: "Local join", core.Remote: "Remote join", core.AllNodes: "Allnodes join"}[mode]
+		t.Rows = append(t.Rows, Row{Label: label, Cells: []Cell{
+			{Measured: rs[0].Elapsed.Seconds()},
+			{Measured: (rs[1].Elapsed.Seconds() + rs[2].Elapsed.Seconds()) / 2},
+		}})
+	}
+	t.Notes = append(t.Notes,
+		"Two concurrent 1% selections run alongside joinABprime (non-key attributes).",
+		"Expected: selections finish fastest when the join runs Remote — §6.2.1's deferred expectation.")
+	return t
+}
+
+// runAggregate measures scalar and grouped aggregates vs processors. The
+// paper ran these experiments but deferred the numbers to [DEWI88]; the
+// expected behaviour is selection-like speedup since aggregation is pushed
+// below the network.
+func runAggregate(o Options) *Table {
+	n := o.FigureTuples
+	t := &Table{
+		ID:      "aggregate",
+		Title:   fmt.Sprintf("Aggregates on the %d-tuple relation vs processors", n),
+		Unit:    "seconds",
+		Columns: []string{"count(*)", "min(unique1)", "sum by ten", "min by twenty"},
+	}
+	for d := 1; d <= o.MaxProcs; d++ {
+		g := newGamma(o.params(), d, d, n, 1)
+		row := Row{Label: fmt.Sprintf("%d processors with disks", d)}
+		scalar := func(fn core.AggFn) float64 {
+			return g.m.RunAgg(core.AggQuery{
+				Scan: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap},
+				Fn:   fn, Attr: rel.Unique1, Mode: core.Remote,
+			}).Elapsed.Seconds()
+		}
+		grouped := func(fn core.AggFn, by rel.Attr) float64 {
+			return g.m.RunAgg(core.AggQuery{
+				Scan: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap},
+				Fn:   fn, Attr: rel.Unique1, GroupBy: &by, Mode: core.Remote,
+			}).Elapsed.Seconds()
+		}
+		row.Cells = []Cell{
+			{Measured: scalar(core.Count)},
+			{Measured: scalar(core.Min)},
+			{Measured: grouped(core.Sum, rel.Ten)},
+			{Measured: grouped(core.Min, rel.Twenty)},
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"Scalar aggregates are folded at the scan sites (one partial per site crosses the network);",
+		"grouped aggregates hash-partition tuples on the grouping attribute across the diskless processors.")
+	return t
+}
+
+// runHybrid repeats the Figure 13 memory sweep with both join algorithms.
+func runHybrid(o Options) *Table {
+	t := &Table{
+		ID:      "hybrid",
+		Title:   "joinABprime (Remote) as memory shrinks: Simple vs Hybrid hash join",
+		Unit:    "seconds; (ovf=N) = overflow resolutions at the most-overflowed site",
+		Columns: []string{"Simple", "Hybrid"},
+	}
+	n := o.FigureTuples
+	buildBytes := (n / 10) * 208
+	for _, ratio := range fig13Ratios {
+		row := Row{Label: fmt.Sprintf("memory/smaller relation = %.2f", ratio)}
+		for _, algo := range []core.JoinAlgorithm{core.SimpleHash, core.HybridHash} {
+			g := newGamma(o.params(), 8, 8, n, 1)
+			bp := g.loadExtra("Bprime", n/10, 7)
+			nJoin := len(g.m.JoinNodes(core.Remote))
+			res := g.joinRun(core.JoinQuery{
+				Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique1,
+				Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique1,
+				Mode:            core.Remote,
+				Algorithm:       algo,
+				MemPerJoinBytes: int(ratio * float64(buildBytes) / float64(nJoin)),
+			})
+			row.Cells = append(row.Cells, Cell{Measured: res.Elapsed.Seconds(), Extra: fmt.Sprintf("ovf=%d", res.Overflows)})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape: identical with ample memory; under pressure Hybrid degrades gently (spilled",
+		"partitions are written and read once) while Simple re-spools every pass — the replacement §8 announces.")
+	return t
+}
+
+// runBitVector measures joinABprime with and without Babb filters.
+func runBitVector(o Options) *Table {
+	t := &Table{
+		ID:      "bitvector",
+		Title:   "joinABprime (Remote, non-key attributes) with and without bit-vector filters",
+		Unit:    "seconds; (pkts=N) = data packets on the ring",
+		Columns: []string{"no filters", "Babb filters"},
+	}
+	n := o.FigureTuples
+	run := func(filter bool) core.Result {
+		g := newGamma(o.params(), 8, 8, n, 1)
+		bp := g.loadExtra("Bprime", n/10, 7)
+		return g.joinRun(core.JoinQuery{
+			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique2,
+			Mode:            core.Remote,
+			UseBitFilter:    filter,
+			MemPerJoinBytes: ampleJoinMemory,
+		})
+	}
+	plain := run(false)
+	filtered := run(true)
+	t.Rows = append(t.Rows, Row{Label: "joinABprime", Cells: []Cell{
+		{Measured: plain.Elapsed.Seconds(), Extra: fmt.Sprintf("pkts=%d", plain.DataPackets)},
+		{Measured: filtered.Elapsed.Seconds(), Extra: fmt.Sprintf("pkts=%d", filtered.DataPackets)},
+	}})
+	t.Notes = append(t.Notes,
+		"Filters drop probe tuples with no possible match before they reach the network (§2);",
+		"the paper's measured runs did not enable them, which is why joinABprime ships all of A.")
+	return t
+}
+
+// runPageSizeDefault scores the §8 recommendation to move the default page
+// size from 4 KB to 8 KB: better for scans and joins, slightly worse for
+// non-clustered index selections.
+func runPageSizeDefault(o Options) *Table {
+	t := &Table{
+		ID:      "pagesize-default",
+		Title:   "Default page size: 4 KB vs 8 KB across the selection workload",
+		Unit:    "seconds",
+		Columns: []string{"4 KB", "8 KB"},
+	}
+	n := o.FigureTuples
+	type workload struct {
+		label string
+		run   func(g *gammaSetup) float64
+	}
+	workloads := []workload{
+		{"10% nonindexed selection", func(g *gammaSetup) float64 {
+			return g.selectSecs(core.SelectQuery{Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 10), Path: core.PathHeap}})
+		}},
+		{"1% clustered index selection", func(g *gammaSetup) float64 {
+			return g.selectSecs(core.SelectQuery{Scan: core.ScanSpec{Rel: g.idx, Pred: pct(rel.Unique1, n, 1), Path: core.PathClustered}})
+		}},
+		{"1% non-clustered index selection", func(g *gammaSetup) float64 {
+			return g.selectSecs(core.SelectQuery{Scan: core.ScanSpec{Rel: g.idx, Pred: pct(rel.Unique2, n, 1), Path: core.PathNonClustered}})
+		}},
+	}
+	sums := [2]float64{}
+	for _, w := range workloads {
+		row := Row{Label: w.label}
+		for i, ps := range []int{4096, 8192} {
+			prm := o.params()
+			prm.PageBytes = ps
+			g := newGamma(prm, 8, 8, n, 1)
+			secs := w.run(g)
+			sums[i] += secs
+			row.Cells = append(row.Cells, Cell{Measured: secs})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, Row{Label: "TOTAL", Cells: []Cell{{Measured: sums[0]}, {Measured: sums[1]}}})
+	t.Notes = append(t.Notes,
+		"§8 concludes the default should move from 4 KB to 8 KB: scans gain, index paths lose a little.")
+	return t
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"gamma/internal/core"
+	"gamma/internal/rel"
+	"gamma/internal/teradata"
+)
+
+var paperTable2 = map[string][3][2]float64{
+	"joinABprime, non-key join attribute":   {{34.9, 6.5}, {321.8, 47.6}, {3419.4, 2938.2}},
+	"joinAselB, non-key join attribute":     {{35.6, 5.1}, {331.7, 34.9}, {3534.5, 703.1}},
+	"joinCselAselB, non-key join attribute": {{27.8, 7.0}, {191.8, 38.0}, {2032.7, 731.2}},
+	"joinABprime, key join attribute":       {{22.2, 5.7}, {131.3, 45.6}, {1265.1, 2926.7}},
+	"joinAselB, key join attribute":         {{25.0, 5.0}, {170.3, 34.1}, {1584.3, 737.7}},
+	"joinCselAselB, key join attribute":     {{23.8, 7.2}, {156.7, 37.4}, {1509.6, 712.8}},
+}
+
+func init() {
+	register("table2", "Join queries (Table 2)", runTable2)
+}
+
+// gammaJoinQueries builds the three paper join queries for a given join
+// attribute. Per §6.1: joinABprime probes with all of A; joinAselB carries a
+// 10% selection on the join attribute of B which the optimizer propagates to
+// A; joinCselAselB restricts both A and B to 10% and joins the result with C.
+func gammaJoinQueries(g *gammaSetup, n int, attr rel.Attr, bprime, b, c *core.Relation) map[string]core.JoinQuery {
+	tenPct := pct(attr, n, 10)
+	cSpec := core.ScanSpec{Rel: c, Pred: rel.True(), Path: core.PathHeap}
+	return map[string]core.JoinQuery{
+		"joinABprime": {
+			Build: core.ScanSpec{Rel: bprime, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: attr,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: attr,
+			Mode: core.Remote,
+		},
+		"joinAselB": {
+			Build: core.ScanSpec{Rel: b, Pred: tenPct, Path: core.PathHeap}, BuildAttr: attr,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: tenPct, Path: core.PathHeap}, ProbeAttr: attr,
+			Mode: core.Remote,
+		},
+		"joinCselAselB": {
+			Build: core.ScanSpec{Rel: b, Pred: tenPct, Path: core.PathHeap}, BuildAttr: attr,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: tenPct, Path: core.PathHeap}, ProbeAttr: attr,
+			Build2: &cSpec, Build2Attr: rel.Unique1, Probe2Attr: attr,
+			Mode: core.Remote,
+		},
+	}
+}
+
+func runTable2(o Options) *Table {
+	t := &Table{ID: "table2", Title: "Join Queries (execution times in seconds)", Unit: "seconds"}
+	queries := []string{"joinABprime", "joinAselB", "joinCselAselB"}
+	attrs := []struct {
+		name string
+		attr rel.Attr
+	}{
+		{"non-key join attribute", rel.Unique2},
+		{"key join attribute", rel.Unique1},
+	}
+	measured := map[string][]Cell{}
+	for _, n := range o.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d Tera", n), fmt.Sprintf("%d Gamma", n))
+
+		// Teradata machine and relations.
+		ts := newTera(o, n, 1)
+		tbp := ts.m.Load("Bprime", rel.Unique1, nil, genRel(n/10, 7))
+		tb := ts.m.Load("B", rel.Unique1, nil, genRel(n, 8))
+		tc := ts.m.Load("C", rel.Unique1, nil, genRel(n/10, 9))
+
+		// Gamma machine and relations.
+		g := newGamma(o.params(), 8, 8, n, 1)
+		gbp := g.loadExtra("Bprime", n/10, 7)
+		gb := g.loadExtra("B", n, 8)
+		gc := g.loadExtra("C", n/10, 9)
+
+		for _, av := range attrs {
+			gq := gammaJoinQueries(g, n, av.attr, gbp, gb, gc)
+			for _, qn := range queries {
+				label := qn + ", " + av.name
+
+				tq := teraJoinQuery(qn, n, av.attr, ts, tbp, tb, tc)
+				tres := ts.m.RunJoin(tq)
+
+				gres := g.joinRun(gq[qn])
+
+				extra := ""
+				if gres.Overflows > 0 {
+					extra = fmt.Sprintf("ovf=%d", gres.Overflows)
+				}
+				measured[label] = append(measured[label],
+					Cell{Measured: tres.Elapsed.Seconds(), Paper: paperOf(paperTable2, label, n, 0)},
+					Cell{Measured: gres.Elapsed.Seconds(), Paper: paperOf(paperTable2, label, n, 1), Extra: extra},
+				)
+			}
+		}
+	}
+	for _, av := range attrs {
+		for _, qn := range queries {
+			label := qn + ", " + av.name
+			t.Rows = append(t.Rows, Row{Label: label, Cells: measured[label]})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Gamma joins run in Remote mode (§6); overflow counts shown as ovf=N (max per site).",
+		"Teradata joinAselB has no selection propagation; Gamma's optimizer reduces it to joinselAselB (§6.1).")
+	return t
+}
+
+// teraJoinQuery maps a paper join query onto the Teradata machine.
+func teraJoinQuery(name string, n int, attr rel.Attr, ts *teraSetup, bprime, b, c *teradata.Relation) teradata.JoinQuery {
+	tenPct := pct(attr, n, 10)
+	switch name {
+	case "joinABprime":
+		return teradata.JoinQuery{
+			R1: ts.heap, Pred1: rel.True(), Attr1: attr,
+			R2: bprime, Pred2: rel.True(), Attr2: attr,
+		}
+	case "joinAselB":
+		// No selection propagation: A is read and redistributed whole.
+		return teradata.JoinQuery{
+			R1: ts.heap, Pred1: rel.True(), Attr1: attr,
+			R2: b, Pred2: tenPct, Attr2: attr,
+		}
+	default: // joinCselAselB
+		return teradata.JoinQuery{
+			R1: ts.heap, Pred1: tenPct, Attr1: attr,
+			R2: b, Pred2: tenPct, Attr2: attr,
+			R3: c, Pred3: rel.True(), Attr3: rel.Unique1, AttrI: attr,
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"gamma/internal/rel"
+)
+
+func TestScalarAggregates(t *testing.T) {
+	m, r := newTestMachine(t, 4, 4, 1000)
+	cases := []struct {
+		fn   AggFn
+		attr rel.Attr
+		want int64
+	}{
+		{Count, rel.Unique1, 1000},
+		{Min, rel.Unique1, 0},
+		{Max, rel.Unique1, 999},
+		{Sum, rel.Two, 500},
+		{Avg, rel.FiftyPercent, 0}, // (0+1)/2 truncated
+	}
+	for _, c := range cases {
+		res := m.RunAgg(AggQuery{
+			Scan: ScanSpec{Rel: r, Pred: rel.True()},
+			Fn:   c.fn, Attr: c.attr, Mode: Remote,
+		})
+		if got := res.Groups[0]; got != c.want {
+			t.Errorf("%v(%v) = %d, want %d", c.fn, c.attr, got, c.want)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%v: zero elapsed", c.fn)
+		}
+	}
+}
+
+func TestScalarAggregateWithPredicate(t *testing.T) {
+	m, r := newTestMachine(t, 4, 0, 1000)
+	res := m.RunAgg(AggQuery{
+		Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, 99)},
+		Fn:   Count, Attr: rel.Unique1, Mode: Local,
+	})
+	if res.Groups[0] != 100 {
+		t.Errorf("count = %d, want 100", res.Groups[0])
+	}
+	if res.Tuples != 100 {
+		t.Errorf("seen = %d", res.Tuples)
+	}
+}
+
+func TestGroupedAggregate(t *testing.T) {
+	m, r := newTestMachine(t, 4, 4, 1000)
+	g := rel.Ten
+	res := m.RunAgg(AggQuery{
+		Scan: ScanSpec{Rel: r, Pred: rel.True()},
+		Fn:   Count, Attr: rel.Unique1, GroupBy: &g, Mode: Remote,
+	})
+	if len(res.Groups) != 10 {
+		t.Fatalf("groups = %d, want 10", len(res.Groups))
+	}
+	for k, v := range res.Groups {
+		if v != 100 {
+			t.Errorf("group %d count = %d, want 100", k, v)
+		}
+	}
+	// MIN of unique1 grouped by ten: group g has minimum g.
+	res2 := m.RunAgg(AggQuery{
+		Scan: ScanSpec{Rel: r, Pred: rel.True()},
+		Fn:   Min, Attr: rel.Unique1, GroupBy: &g, Mode: Remote,
+	})
+	for k, v := range res2.Groups {
+		if v != int64(k) {
+			t.Errorf("min(unique1) group %d = %d, want %d", k, v, k)
+		}
+	}
+}
+
+func TestAppendTuple(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		m, r := func() (*Machine, *Relation) {
+			if indexed {
+				m, r := newTestMachine(t, 4, 0, 1000)
+				return m, r
+			}
+			m, _ := newTestMachine(t, 4, 0, 1000)
+			r := m.Load(LoadSpec{Name: "plain", Strategy: Hashed, PartAttr: rel.Unique1},
+				nil)
+			return m, r
+		}()
+		var tp rel.Tuple
+		tp.Set(rel.Unique1, 5000)
+		tp.Set(rel.Unique2, 5000)
+		before := r.Count()
+		res := m.RunUpdate(UpdateQuery{Rel: r, Kind: AppendTuple, Tuple: tp})
+		if res.Tuples != 1 {
+			t.Fatalf("indexed=%v: changed = %d", indexed, res.Tuples)
+		}
+		if r.Count() != before+1 {
+			t.Errorf("indexed=%v: count %d -> %d", indexed, before, r.Count())
+		}
+		if indexed {
+			// The appended tuple must be findable through both indexes.
+			sel := m.RunSelect(SelectQuery{
+				Scan:   ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique2, 5000), Path: PathNonClustered},
+				ToHost: true,
+			})
+			if sel.Tuples != 1 {
+				t.Errorf("appended tuple not found via secondary index (%d)", sel.Tuples)
+			}
+		}
+	}
+}
+
+func TestAppendWithIndexCostsMore(t *testing.T) {
+	mPlain, _ := newTestMachine(t, 4, 0, 1000)
+	plain := mPlain.Load(LoadSpec{Name: "plain", Strategy: Hashed, PartAttr: rel.Unique1}, nil)
+	mIdx, idx := newTestMachine(t, 4, 0, 1000)
+	var tp rel.Tuple
+	tp.Set(rel.Unique1, 7777)
+	tp.Set(rel.Unique2, 7777)
+	a := mPlain.RunUpdate(UpdateQuery{Rel: plain, Kind: AppendTuple, Tuple: tp})
+	b := mIdx.RunUpdate(UpdateQuery{Rel: idx, Kind: AppendTuple, Tuple: tp})
+	if b.Elapsed <= a.Elapsed {
+		t.Errorf("indexed append (%v) should cost more than plain append (%v) — Table 3 rows 1-2",
+			b.Elapsed, a.Elapsed)
+	}
+}
+
+func TestDeleteByKey(t *testing.T) {
+	m, r := newTestMachine(t, 4, 0, 1000)
+	res := m.RunUpdate(UpdateQuery{Rel: r, Kind: DeleteByKey, Key: 123})
+	if res.Tuples != 1 {
+		t.Fatalf("changed = %d", res.Tuples)
+	}
+	sel := m.RunSelect(SelectQuery{
+		Scan:   ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 123), Path: PathClustered},
+		ToHost: true,
+	})
+	if sel.Tuples != 0 {
+		t.Error("deleted tuple still visible")
+	}
+	if r.Count() != 999 {
+		t.Errorf("count = %d", r.Count())
+	}
+}
+
+func TestModifyKeyRelocatesTuple(t *testing.T) {
+	m, r := newTestMachine(t, 4, 0, 1000)
+	res := m.RunUpdate(UpdateQuery{
+		Rel: r, Kind: ModifyKeyAttr, Key: 200, Attr: rel.Unique1, NewValue: 5000,
+	})
+	if res.Tuples != 1 {
+		t.Fatalf("changed = %d", res.Tuples)
+	}
+	if r.Count() != 1000 {
+		t.Errorf("count = %d", r.Count())
+	}
+	old := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 200), Path: PathClustered}, ToHost: true})
+	if old.Tuples != 0 {
+		t.Error("old key still present")
+	}
+	new := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 5000), Path: PathClustered}, ToHost: true})
+	if new.Tuples != 1 {
+		t.Error("new key not found")
+	}
+}
+
+func TestModifyNonIndexed(t *testing.T) {
+	m, r := newTestMachine(t, 4, 0, 1000)
+	res := m.RunUpdate(UpdateQuery{
+		Rel: r, Kind: ModifyNonIndexed, Key: 42, Attr: rel.OddOnePercent, NewValue: 9999,
+	})
+	if res.Tuples != 1 {
+		t.Fatalf("changed = %d", res.Tuples)
+	}
+	for _, tp := range r.AllTuples() {
+		if tp.Get(rel.Unique1) == 42 && tp.Get(rel.OddOnePercent) != 9999 {
+			t.Error("modification lost")
+		}
+	}
+}
+
+func TestModifyIndexedMaintainsIndex(t *testing.T) {
+	m, r := newTestMachine(t, 4, 0, 1000)
+	res := m.RunUpdate(UpdateQuery{
+		Rel: r, Kind: ModifyIndexed, Key: 77, Attr: rel.Unique2, NewValue: 8888,
+	})
+	if res.Tuples != 1 {
+		t.Fatalf("changed = %d", res.Tuples)
+	}
+	oldSel := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique2, 77), Path: PathNonClustered}, ToHost: true})
+	if oldSel.Tuples != 0 {
+		t.Error("old index entry still returns the tuple")
+	}
+	newSel := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique2, 8888), Path: PathNonClustered}, ToHost: true})
+	if newSel.Tuples != 1 {
+		t.Error("new index entry missing")
+	}
+}
+
+func TestUpdateCostOrderingMatchesTable3(t *testing.T) {
+	// Table 3 ordering for Gamma: modify-nonindexed < delete < append(idx)
+	// < modify-key (relocation is the most expensive).
+	m, r := newTestMachine(t, 8, 0, 10000)
+	var tp rel.Tuple
+	tp.Set(rel.Unique1, 50000)
+	tp.Set(rel.Unique2, 50000)
+	appendIdx := m.RunUpdate(UpdateQuery{Rel: r, Kind: AppendTuple, Tuple: tp})
+	del := m.RunUpdate(UpdateQuery{Rel: r, Kind: DeleteByKey, Key: 11})
+	modNon := m.RunUpdate(UpdateQuery{Rel: r, Kind: ModifyNonIndexed, Key: 22, Attr: rel.OddOnePercent, NewValue: 1})
+	modKey := m.RunUpdate(UpdateQuery{Rel: r, Kind: ModifyKeyAttr, Key: 33, Attr: rel.Unique1, NewValue: 60000})
+	if !(modNon.Elapsed < del.Elapsed && del.Elapsed <= appendIdx.Elapsed*2 && appendIdx.Elapsed < modKey.Elapsed) {
+		t.Errorf("cost ordering off: modNon=%v del=%v appendIdx=%v modKey=%v",
+			modNon.Elapsed, del.Elapsed, appendIdx.Elapsed, modKey.Elapsed)
+	}
+}

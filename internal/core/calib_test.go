@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"gamma/internal/config"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wisconsin"
+)
+
+// TestCalibrationTable1 checks the standard configuration (8 disk
+// processors, 4 KB pages) against Table 1's Gamma column for the 100,000
+// tuple relation, within generous bands — tight agreement is recorded in
+// EXPERIMENTS.md, this test is a regression guard for the cost model.
+func TestCalibrationTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs the 100k relation")
+	}
+	s := sim.New()
+	prm := config.Default()
+	m := NewMachine(s, &prm, 8, 8)
+	u1 := rel.Unique1
+	r := m.Load(LoadSpec{
+		Name: "A", Strategy: Hashed, PartAttr: rel.Unique1,
+		ClusteredIndex: &u1, NonClusteredIndexes: []rel.Attr{rel.Unique2},
+	}, wisconsin.Generate(100000, 1))
+
+	check := func(name string, got sim.Dur, paper float64) {
+		t.Logf("%-45s %8.2fs (paper %6.2fs)", name, got.Seconds(), paper)
+		if got.Seconds() < paper/2.5 || got.Seconds() > paper*2.5 {
+			t.Errorf("%s: %.2fs out of band vs paper %.2fs", name, got.Seconds(), paper)
+		}
+	}
+
+	sel1 := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 999), Path: PathHeap}})
+	check("1% nonindexed selection", sel1.Elapsed, 13.83)
+
+	sel10 := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 9999), Path: PathHeap}})
+	check("10% nonindexed selection", sel10.Elapsed, 17.44)
+
+	selNC := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 999), Path: PathNonClustered}})
+	check("1% selection non-clustered index", selNC.Elapsed, 5.32)
+
+	selC1 := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, 999), Path: PathClustered}})
+	check("1% selection clustered index", selC1.Elapsed, 1.25)
+
+	selC10 := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, 9999), Path: PathClustered}})
+	check("10% selection clustered index", selC10.Elapsed, 7.27)
+
+	single := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 4242), Path: PathClustered}, ToHost: true})
+	check("single tuple select", single.Elapsed, 0.15)
+}

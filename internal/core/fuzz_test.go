@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gamma/internal/rel"
+)
+
+// TestRandomWorkloadAgainstReferenceModel runs a long, seeded-random mixed
+// workload (selections on every access path, joins in every mode with random
+// memory budgets, aggregates, and all five update kinds) against one machine
+// and validates every result against a plain in-memory reference model.
+func TestRandomWorkloadAgainstReferenceModel(t *testing.T) {
+	const n = 1500
+	rng := rand.New(rand.NewSource(42))
+	m, r := newMachineWithRel(3, 3, n)
+	b := m.Load(LoadSpec{Name: "B", Strategy: Hashed, PartAttr: rel.Unique1}, genTuples(300, 9))
+
+	// Reference model: the current live tuples of A, keyed by unique1.
+	model := map[int32]rel.Tuple{}
+	for _, tp := range r.AllTuples() {
+		model[tp.Get(rel.Unique1)] = tp
+	}
+	bTuples := b.AllTuples()
+
+	countMatching := func(pred rel.Pred) int {
+		c := 0
+		for _, tp := range model {
+			if pred.Match(tp) {
+				c++
+			}
+		}
+		return c
+	}
+
+	nextKey := int32(n + 1000)
+	for step := 0; step < 60; step++ {
+		switch rng.Intn(6) {
+		case 0: // heap selection
+			lo := rng.Int31n(n)
+			hi := lo + rng.Int31n(n/4)
+			pred := rel.Between(rel.Unique2, lo, hi)
+			res := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: pred, Path: PathHeap}, ToHost: true})
+			if want := countMatching(pred); res.Tuples != want {
+				t.Fatalf("step %d: heap select = %d, model = %d", step, res.Tuples, want)
+			}
+		case 1: // indexed selection (auto path)
+			lo := rng.Int31n(n)
+			attr := rel.Unique1
+			if rng.Intn(2) == 0 {
+				attr = rel.Unique2
+			}
+			pred := rel.Between(attr, lo, lo+rng.Int31n(50))
+			res := m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: pred, Path: PathAuto}, ToHost: true})
+			if want := countMatching(pred); res.Tuples != want {
+				t.Fatalf("step %d: auto select on %v = %d, model = %d", step, attr, res.Tuples, want)
+			}
+		case 2: // join in a random mode with random memory
+			mode := []JoinMode{Local, Remote, AllNodes}[rng.Intn(3)]
+			algo := []JoinAlgorithm{SimpleHash, HybridHash}[rng.Intn(2)]
+			mem := 8192 + rng.Intn(64*1024)
+			res := m.RunJoin(JoinQuery{
+				Build: ScanSpec{Rel: b, Pred: rel.True(), Path: PathHeap}, BuildAttr: rel.Unique2,
+				Probe: ScanSpec{Rel: r, Pred: rel.True(), Path: PathHeap}, ProbeAttr: rel.Unique2,
+				Mode: mode, Algorithm: algo, MemPerJoinBytes: mem,
+			})
+			want := 0
+			byVal := map[int32]int{}
+			for _, tp := range bTuples {
+				byVal[tp.Get(rel.Unique2)]++
+			}
+			for _, tp := range model {
+				want += byVal[tp.Get(rel.Unique2)]
+			}
+			if res.Tuples != want {
+				t.Fatalf("step %d: join (%v/%v/mem=%d) = %d, model = %d", step, mode, algo, mem, res.Tuples, want)
+			}
+			m.Drop(res.ResultName)
+		case 3: // aggregate
+			res := m.RunAgg(AggQuery{Scan: ScanSpec{Rel: r, Pred: rel.True(), Path: PathHeap}, Fn: Count, Attr: rel.Unique1, Mode: Remote})
+			if int(res.Groups[0]) != len(model) {
+				t.Fatalf("step %d: count = %d, model = %d", step, res.Groups[0], len(model))
+			}
+		case 4: // append or delete
+			if rng.Intn(2) == 0 {
+				var tp rel.Tuple
+				nextKey++
+				tp.Set(rel.Unique1, nextKey)
+				tp.Set(rel.Unique2, nextKey)
+				if res := m.RunUpdate(UpdateQuery{Rel: r, Kind: AppendTuple, Tuple: tp}); res.Tuples != 1 {
+					t.Fatalf("step %d: append failed", step)
+				}
+				model[nextKey] = tp
+			} else if len(model) > 0 {
+				// Delete a key known to the model.
+				var victim int32 = -1
+				for k := range model {
+					victim = k
+					break
+				}
+				res := m.RunUpdate(UpdateQuery{Rel: r, Kind: DeleteByKey, Key: victim})
+				if res.Tuples != 1 {
+					t.Fatalf("step %d: delete of existing key %d failed", step, victim)
+				}
+				delete(model, victim)
+			}
+		case 5: // modify a non-indexed attribute
+			if len(model) > 0 {
+				var victim int32 = -1
+				for k := range model {
+					victim = k
+					break
+				}
+				newVal := rng.Int31n(1000)
+				res := m.RunUpdate(UpdateQuery{Rel: r, Kind: ModifyNonIndexed, Key: victim, Attr: rel.OddOnePercent, NewValue: newVal})
+				if res.Tuples != 1 {
+					t.Fatalf("step %d: modify of key %d failed", step, victim)
+				}
+				tp := model[victim]
+				tp.Set(rel.OddOnePercent, newVal)
+				model[victim] = tp
+			}
+		}
+	}
+	// Final full reconciliation.
+	if r.Count() != len(model) {
+		t.Fatalf("final count %d, model %d", r.Count(), len(model))
+	}
+	seen := map[int32]rel.Tuple{}
+	for _, tp := range r.AllTuples() {
+		seen[tp.Get(rel.Unique1)] = tp
+	}
+	for k, want := range model {
+		if got, ok := seen[k]; !ok || got != want {
+			t.Fatalf("key %d: machine has %v, model has %v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package core implements the Gamma database machine (§2): a shared-nothing
+// multiprocessor engine in which relations are horizontally partitioned
+// across all disk drives, operators run as self-scheduling processes
+// connected by split tables, and queries execute in dataflow fashion under
+// the control of a scheduler process.
+//
+// Everything executes for real — real tuples, real B-trees, real hash
+// tables — on the simulated hardware of internal/sim, internal/disk, and
+// internal/nose, so results are exact and response times reflect the
+// calibrated 1988 cost model.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gamma/internal/config"
+	"gamma/internal/nose"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wiss"
+)
+
+// LoadSeed is the hash seed used when declustering relations at load time.
+// Split tables reuse it for joins on the partitioning attribute (§6.2.1),
+// which is what lets Local joins short-circuit; overflow resolution switches
+// to different seeds (§6.2.2).
+const LoadSeed uint64 = 1
+
+// PartStrategy is one of Gamma's four tuple-declustering strategies (§2).
+type PartStrategy int
+
+const (
+	// RoundRobin distributes tuples cyclically; the default for relations
+	// created as the result of a query.
+	RoundRobin PartStrategy = iota
+	// Hashed applies a randomizing function to the key attribute.
+	Hashed
+	// RangeUser partitions by user-specified key ranges.
+	RangeUser
+	// RangeUniform partitions by system-computed ranges that distribute
+	// tuples uniformly.
+	RangeUniform
+)
+
+func (s PartStrategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case Hashed:
+		return "hashed"
+	case RangeUser:
+		return "range(user)"
+	default:
+		return "range(uniform)"
+	}
+}
+
+// Machine is one Gamma configuration: a host, a scheduling processor, n
+// processors with disks, and m diskless processors on a shared token ring.
+type Machine struct {
+	Sim      *sim.Sim
+	Prm      *config.Params
+	Net      *nose.Network
+	Host     *nose.Node
+	Sched    *nose.Node
+	Disk     []*nose.Node // processors with disk drives
+	Diskless []*nose.Node // join/aggregate processors
+	stores   map[int]*wiss.Store
+	catalog  map[string]*Relation
+	nextRes  int
+	rec      *Recovery
+}
+
+// NewMachine builds a machine with nDisk disk processors and nDiskless
+// diskless processors (§2's standard configuration is 8 + 8, plus the
+// scheduling processor and the host).
+func NewMachine(s *sim.Sim, prm *config.Params, nDisk, nDiskless int) *Machine {
+	if nDisk < 1 {
+		panic("core: need at least one disk processor")
+	}
+	m := &Machine{
+		Sim:     s,
+		Prm:     prm,
+		Net:     nose.NewNetwork(s, prm.Net, prm.CPU),
+		stores:  make(map[int]*wiss.Store),
+		catalog: make(map[string]*Relation),
+	}
+	m.Host = m.Net.AddNode(false, prm.Disk)
+	m.Sched = m.Net.AddNode(false, prm.Disk)
+	for i := 0; i < nDisk; i++ {
+		nd := m.Net.AddNode(true, prm.Disk)
+		m.Disk = append(m.Disk, nd)
+		m.stores[nd.ID] = wiss.NewStore(nd, prm)
+	}
+	for i := 0; i < nDiskless; i++ {
+		nd := m.Net.AddNode(false, prm.Disk)
+		nd.SpoolNode = m.Disk[i%nDisk]
+		m.Diskless = append(m.Diskless, nd)
+	}
+	return m
+}
+
+// StoreOf returns the WiSS instance of a disk node (nil for diskless nodes).
+func (m *Machine) StoreOf(nd *nose.Node) *wiss.Store { return m.stores[nd.ID] }
+
+// Relation returns a catalogued relation by name.
+func (m *Machine) Relation(name string) (*Relation, bool) {
+	r, ok := m.catalog[name]
+	return r, ok
+}
+
+// Relations lists catalogued relation names in sorted order.
+func (m *Machine) Relations() []string {
+	var names []string
+	for n := range m.catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResetPools empties every buffer pool, so the next query runs cold —
+// matching the paper's single-user measurement methodology.
+func (m *Machine) ResetPools() {
+	for _, st := range m.stores {
+		st.Pool().Reset()
+	}
+}
+
+// Relation is a horizontally partitioned relation.
+type Relation struct {
+	Name     string
+	N        int
+	Strategy PartStrategy
+	PartAttr rel.Attr
+	// Bounds holds, for range strategies, the inclusive upper bound of
+	// each fragment's key range.
+	Bounds []int32
+	// Width is the logical tuple width in bytes; 0 means the full
+	// 208-byte Wisconsin tuple. Projected result relations are narrower.
+	Width int
+	Frags []*Fragment
+	m     *Machine
+}
+
+// width resolves the relation's logical tuple width.
+func (r *Relation) width(m *Machine) int {
+	if r.Width > 0 {
+		return r.Width
+	}
+	return m.Prm.TupleBytes
+}
+
+// Fragment is the portion of a relation stored at one disk node.
+type Fragment struct {
+	Node    *nose.Node
+	File    *wiss.File
+	Indexes map[rel.Attr]*wiss.BTree
+}
+
+// Index returns the index on attr at fragment 0 (all fragments are indexed
+// identically), if one exists.
+func (r *Relation) Index(attr rel.Attr) (*wiss.BTree, bool) {
+	if len(r.Frags) == 0 {
+		return nil, false
+	}
+	bt, ok := r.Frags[0].Indexes[attr]
+	return bt, ok
+}
+
+// ClusteredOn reports whether the relation has a clustered index on attr.
+func (r *Relation) ClusteredOn(attr rel.Attr) bool {
+	bt, ok := r.Index(attr)
+	return ok && bt.Kind == wiss.Clustered
+}
+
+// LoadSpec describes how to create and index a relation.
+type LoadSpec struct {
+	Name     string
+	Strategy PartStrategy
+	PartAttr rel.Attr
+	// Bounds: for RangeUser, the inclusive upper bound per disk node
+	// (the final bound is implicitly +inf).
+	Bounds []int32
+	// ClusteredIndex, if set, sorts each fragment on the attribute and
+	// builds a clustered B-tree (the paper clusters on unique1).
+	ClusteredIndex *rel.Attr
+	// NonClusteredIndexes lists dense secondary index attributes (the
+	// paper indexes unique2).
+	NonClusteredIndexes []rel.Attr
+}
+
+// Load creates a relation from tuples per the spec. Loading takes no
+// simulated time: experiments begin with the database in place (§4).
+func (m *Machine) Load(spec LoadSpec, tuples []rel.Tuple) *Relation {
+	k := len(m.Disk)
+	r := &Relation{
+		Name:     spec.Name,
+		N:        len(tuples),
+		Strategy: spec.Strategy,
+		PartAttr: spec.PartAttr,
+		m:        m,
+	}
+	parts := make([][]rel.Tuple, k)
+	switch spec.Strategy {
+	case RoundRobin:
+		for i, t := range tuples {
+			parts[i%k] = append(parts[i%k], t)
+		}
+	case Hashed:
+		for _, t := range tuples {
+			j := int(rel.Hash64(t.Get(spec.PartAttr), LoadSeed) % uint64(k))
+			parts[j] = append(parts[j], t)
+		}
+	case RangeUser:
+		if len(spec.Bounds) != k-1 && len(spec.Bounds) != k {
+			panic(fmt.Sprintf("core: RangeUser needs %d or %d bounds, got %d", k-1, k, len(spec.Bounds)))
+		}
+		r.Bounds = rangeBounds(spec.Bounds, k)
+		for _, t := range tuples {
+			parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))] = append(parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))], t)
+		}
+	case RangeUniform:
+		r.Bounds = uniformBounds(tuples, spec.PartAttr, k)
+		for _, t := range tuples {
+			parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))] = append(parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))], t)
+		}
+	}
+	for i, nd := range m.Disk {
+		st := m.stores[nd.ID]
+		f := st.CreateFile(spec.Name)
+		var sortKey *rel.Attr
+		if spec.ClusteredIndex != nil {
+			sortKey = spec.ClusteredIndex
+		}
+		f.LoadDirect(parts[i], sortKey)
+		frag := &Fragment{Node: nd, File: f, Indexes: map[rel.Attr]*wiss.BTree{}}
+		if spec.ClusteredIndex != nil {
+			frag.Indexes[*spec.ClusteredIndex] = wiss.NewBTree(f, *spec.ClusteredIndex, wiss.Clustered)
+		}
+		for _, a := range spec.NonClusteredIndexes {
+			frag.Indexes[a] = wiss.NewBTree(f, a, wiss.NonClustered)
+		}
+		r.Frags = append(r.Frags, frag)
+	}
+	m.catalog[spec.Name] = r
+	return r
+}
+
+// rangeBounds normalizes user bounds to one inclusive upper bound per site,
+// the last being MaxInt32.
+func rangeBounds(user []int32, k int) []int32 {
+	b := append([]int32(nil), user...)
+	for len(b) < k {
+		b = append(b, 1<<31-1)
+	}
+	b[k-1] = 1<<31 - 1
+	return b[:k]
+}
+
+// uniformBounds computes bounds so each site gets ~len(tuples)/k tuples.
+func uniformBounds(tuples []rel.Tuple, attr rel.Attr, k int) []int32 {
+	vals := make([]int32, len(tuples))
+	for i, t := range tuples {
+		vals[i] = t.Get(attr)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	b := make([]int32, k)
+	for i := 0; i < k-1; i++ {
+		idx := (i + 1) * len(vals) / k
+		if idx >= len(vals) {
+			idx = len(vals) - 1
+		}
+		b[i] = vals[idx]
+	}
+	b[k-1] = 1<<31 - 1
+	return b
+}
+
+func rangeSite(bounds []int32, v int32) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds) - 1
+}
+
+// newResultRelation registers an (initially empty) result relation whose
+// fragments live on every disk node; results are distributed round-robin,
+// Gamma's default for relations created by a query (§2). width narrows the
+// stored tuples (projection); 0 keeps full tuples.
+func (m *Machine) newResultRelation(name string, width int) *Relation {
+	if name == "" {
+		m.nextRes++
+		name = fmt.Sprintf("result%d", m.nextRes)
+	}
+	r := &Relation{Name: name, Strategy: RoundRobin, PartAttr: rel.Unique1, m: m}
+	if width > 0 && width < m.Prm.TupleBytes {
+		r.Width = width
+	}
+	slotOverhead := m.Prm.SlotBytes - m.Prm.TupleBytes
+	for _, nd := range m.Disk {
+		st := m.stores[nd.ID]
+		f := st.CreateFile(name)
+		if r.Width > 0 {
+			f.SlotBytes = r.Width + slotOverhead
+		}
+		r.Frags = append(r.Frags, &Fragment{Node: nd, File: f, Indexes: map[rel.Attr]*wiss.BTree{}})
+	}
+	m.catalog[name] = r
+	return r
+}
+
+// Drop removes a relation and its files (the QUEL abort/cleanup path).
+func (m *Machine) Drop(name string) {
+	r, ok := m.catalog[name]
+	if !ok {
+		return
+	}
+	for _, fr := range r.Frags {
+		m.stores[fr.Node.ID].DropFile(fr.File)
+	}
+	delete(m.catalog, name)
+}
+
+// Count returns the total number of tuples across all fragments.
+func (r *Relation) Count() int {
+	n := 0
+	for _, fr := range r.Frags {
+		n += fr.File.Len()
+	}
+	return n
+}
+
+// AllTuples gathers every live tuple (test/verification helper; no cost).
+func (r *Relation) AllTuples() []rel.Tuple {
+	var out []rel.Tuple
+	for _, fr := range r.Frags {
+		for i := 0; i < fr.File.Pages(); i++ {
+			out = fr.File.Page(i).LiveTuples(out)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"gamma/internal/rel"
+)
+
+// TestConcurrentQueriesCorrect: queries running simultaneously must still
+// produce exact results.
+func TestConcurrentQueriesCorrect(t *testing.T) {
+	m, a := newTestMachine(t, 4, 4, 2000)
+	b := m.Load(LoadSpec{Name: "B", Strategy: Hashed, PartAttr: rel.Unique1}, genTuples(200, 7))
+	s1 := SelectQuery{Scan: ScanSpec{Rel: a, Pred: rel.Between(rel.Unique2, 0, 99), Path: PathHeap}}
+	s2 := SelectQuery{Scan: ScanSpec{Rel: a, Pred: rel.Between(rel.Unique2, 100, 299), Path: PathHeap}}
+	j := JoinQuery{
+		Build: ScanSpec{Rel: b, Pred: rel.True(), Path: PathHeap}, BuildAttr: rel.Unique2,
+		Probe: ScanSpec{Rel: a, Pred: rel.True(), Path: PathHeap}, ProbeAttr: rel.Unique2,
+		Mode: Remote,
+	}
+	rs := m.RunConcurrent([]ConcurrentQuery{{Select: &s1}, {Select: &s2}, {Join: &j}})
+	if rs[0].Tuples != 100 {
+		t.Errorf("select 1 = %d tuples, want 100", rs[0].Tuples)
+	}
+	if rs[1].Tuples != 200 {
+		t.Errorf("select 2 = %d tuples, want 200", rs[1].Tuples)
+	}
+	if rs[2].Tuples != 200 {
+		t.Errorf("join = %d tuples, want 200", rs[2].Tuples)
+	}
+	for i, r := range rs {
+		if r.Elapsed <= 0 {
+			t.Errorf("query %d: zero elapsed", i)
+		}
+	}
+}
+
+// TestConcurrentSlowerThanAlone: sharing the machine must cost something.
+func TestConcurrentSlowerThanAlone(t *testing.T) {
+	mk := func() (*Machine, SelectQuery) {
+		m, a := newTestMachine(t, 4, 0, 4000)
+		return m, SelectQuery{Scan: ScanSpec{Rel: a, Pred: rel.Between(rel.Unique2, 0, 39), Path: PathHeap}}
+	}
+	m1, q := mk()
+	alone := m1.RunSelect(q).Elapsed
+
+	m2, q2 := mk()
+	rs := m2.RunConcurrent([]ConcurrentQuery{{Select: &q2}, {Select: &q2}, {Select: &q2}})
+	if rs[0].Elapsed <= alone {
+		t.Errorf("concurrent selection (%v) not slower than solo (%v)", rs[0].Elapsed, alone)
+	}
+}
+
+// TestRemoteJoinsShieldConcurrentSelections validates the expectation §6.2.1
+// records for future multiuser benchmarks: with the join operators offloaded
+// to the diskless processors, concurrent selections on the disk processors
+// complete faster than when the join runs locally.
+func TestRemoteJoinsShieldConcurrentSelections(t *testing.T) {
+	run := func(mode JoinMode) (selSecs float64) {
+		m, a := newTestMachine(t, 4, 4, 4000)
+		b := m.Load(LoadSpec{Name: "B", Strategy: Hashed, PartAttr: rel.Unique1}, genTuples(400, 7))
+		sel := SelectQuery{Scan: ScanSpec{Rel: a, Pred: rel.Between(rel.Unique2, 0, 399), Path: PathHeap}}
+		j := JoinQuery{
+			Build: ScanSpec{Rel: b, Pred: rel.True(), Path: PathHeap}, BuildAttr: rel.Unique2,
+			Probe: ScanSpec{Rel: a, Pred: rel.True(), Path: PathHeap}, ProbeAttr: rel.Unique2,
+			Mode: mode, MemPerJoinBytes: 8 << 20,
+		}
+		rs := m.RunConcurrent([]ConcurrentQuery{{Join: &j}, {Select: &sel}, {Select: &sel}})
+		return rs[1].Elapsed.Seconds() + rs[2].Elapsed.Seconds()
+	}
+	local := run(Local)
+	remote := run(Remote)
+	if remote >= local {
+		t.Errorf("selections alongside a Remote join (%0.2fs) should beat Local (%0.2fs) — §6.2.1",
+			remote, local)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"gamma/internal/rel"
+)
+
+func TestProjectionKeepsOnlyListedAttributes(t *testing.T) {
+	m, r := newMachineWithRel(4, 0, 1000)
+	res := m.RunSelect(SelectQuery{
+		Scan:    ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 99), Path: PathHeap},
+		Project: []rel.Attr{rel.Unique1, rel.Unique2},
+	})
+	if res.Tuples != 100 {
+		t.Fatalf("tuples = %d", res.Tuples)
+	}
+	out, _ := m.Relation(res.ResultName)
+	if out.Width != 8 {
+		t.Errorf("result width = %d, want 8 (two int attributes)", out.Width)
+	}
+	for _, tp := range out.AllTuples() {
+		if tp.Get(rel.Unique2) > 99 {
+			t.Fatal("non-matching tuple in projected result")
+		}
+		if tp.Get(rel.Ten) != 0 || tp.Get(rel.OddOnePercent) != 0 {
+			t.Fatal("non-projected attribute survived")
+		}
+	}
+}
+
+func TestProjectionReducesCostAndPages(t *testing.T) {
+	run := func(project []rel.Attr) (float64, int) {
+		m, r := newMachineWithRel(4, 0, 4000)
+		res := m.RunSelect(SelectQuery{
+			Scan:    ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 999), Path: PathHeap},
+			Project: project,
+		})
+		out, _ := m.Relation(res.ResultName)
+		pages := 0
+		for _, fr := range out.Frags {
+			pages += fr.File.Pages()
+		}
+		return res.Elapsed.Seconds(), pages
+	}
+	fullSecs, fullPages := run(nil)
+	projSecs, projPages := run([]rel.Attr{rel.Unique1})
+	if projSecs >= fullSecs {
+		t.Errorf("projected select (%v) not cheaper than full (%v)", projSecs, fullSecs)
+	}
+	if projPages*5 > fullPages {
+		t.Errorf("projected result uses %d pages vs %d full; want far fewer", projPages, fullPages)
+	}
+}
+
+func TestProjectedResultRelationIsScannable(t *testing.T) {
+	m, r := newMachineWithRel(4, 0, 1000)
+	res := m.RunSelect(SelectQuery{
+		Scan:       ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, 499), Path: PathClustered},
+		Project:    []rel.Attr{rel.Unique1},
+		ResultName: "narrow",
+	})
+	if res.Tuples != 500 {
+		t.Fatalf("stored %d", res.Tuples)
+	}
+	narrow, _ := m.Relation("narrow")
+	res2 := m.RunSelect(SelectQuery{
+		Scan:   ScanSpec{Rel: narrow, Pred: rel.Between(rel.Unique1, 0, 99), Path: PathHeap},
+		ToHost: true,
+	})
+	if res2.Tuples != 100 {
+		t.Errorf("scan of projected relation = %d tuples, want 100", res2.Tuples)
+	}
+}

@@ -1,0 +1,592 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gamma/internal/nose"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+)
+
+// SelectQuery selects tuples from one relation and stores the result in a
+// new round-robin-partitioned relation (or returns them to the host).
+type SelectQuery struct {
+	Scan       ScanSpec
+	ResultName string
+	// ToHost returns result tuples to the host instead of storing them
+	// (the paper's single-tuple select and aggregate results).
+	ToHost bool
+	// Project keeps only the listed attributes in the result; nil keeps
+	// the whole 208-byte tuple. Projection narrows the stream, reducing
+	// network and result-storage cost.
+	Project []rel.Attr
+}
+
+// JoinQuery is a one- or two-stage hash join. Stage one builds on Build and
+// probes with Probe; if Build2 is set, stage one's output stream immediately
+// probes a second join whose table is built from Build2 (joinCselAselB).
+type JoinQuery struct {
+	Build     ScanSpec
+	BuildAttr rel.Attr
+	Probe     ScanSpec
+	ProbeAttr rel.Attr
+
+	// Second stage (optional). Probe2Attr is the attribute of the stage-
+	// one output tuple used to probe the second table.
+	Build2     *ScanSpec
+	Build2Attr rel.Attr
+	Probe2Attr rel.Attr
+
+	Mode JoinMode
+	// Algorithm selects the overflow strategy: the paper's SimpleHash
+	// (default) or the HybridHash replacement §8 announces.
+	Algorithm JoinAlgorithm
+	// UseBitFilter inserts Babb bit-vector filters into the probe-side
+	// split tables (§2); disabled by default, as in the paper's tests.
+	UseBitFilter bool
+	// MemPerJoinBytes overrides config.Memory.JoinTableBytes for each
+	// join operator (the Figure 13 memory sweep).
+	MemPerJoinBytes int
+	ResultName      string
+}
+
+// Result reports a query's outcome and simulated cost.
+type Result struct {
+	Elapsed    sim.Dur
+	Tuples     int
+	ResultName string
+	// Overflow telemetry (joins): resolutions observed at the most-
+	// overflowed site, and the per-site counts.
+	Overflows       int
+	OverflowPerSite []int
+	// Network activity during the query.
+	DataPackets int64
+	LocalMsgs   int64
+	CtlMsgs     int64
+}
+
+// initOp charges the scheduler the §6.2.3 cost of initiating one operator on
+// one node: MsgsPerOperatorInit control messages of CtlMsg each, serialized
+// on the scheduler's CPU.
+func (m *Machine) initOp(p *sim.Proc, node *nose.Node) {
+	n := m.Prm.Engine.MsgsPerOperatorInit
+	m.Sched.CPU.Use(p, sim.Dur(n)*m.Prm.Net.CtlMsg)
+}
+
+// JoinNodes returns the processors that execute join operators in a mode.
+func (m *Machine) JoinNodes(mode JoinMode) []*nose.Node {
+	switch mode {
+	case Local:
+		return m.Disk
+	case Remote:
+		if len(m.Diskless) > 0 {
+			return m.Diskless
+		}
+		return m.Disk
+	default:
+		return append(append([]*nose.Node(nil), m.Disk...), m.Diskless...)
+	}
+}
+
+// inbox buffers the scheduler's incoming control messages by kind so phases
+// can await specific completions while unrelated reports arrive interleaved.
+type inbox struct {
+	p        *sim.Proc
+	port     *nose.Port
+	dones    map[string][]doneMsg
+	builts   map[string][]builtMsg
+	probeds  map[string][]probedMsg
+	stores   []storeDone
+	aggParts []aggPartial
+	aggDones []aggDone
+	updDones []updateDone
+}
+
+func newInbox(p *sim.Proc, port *nose.Port) *inbox {
+	return &inbox{
+		p:       p,
+		port:    port,
+		dones:   map[string][]doneMsg{},
+		builts:  map[string][]builtMsg{},
+		probeds: map[string][]probedMsg{},
+	}
+}
+
+func (ib *inbox) pump() {
+	msg := ib.port.Recv(ib.p)
+	switch pl := msg.Payload.(type) {
+	case doneMsg:
+		ib.dones[pl.op] = append(ib.dones[pl.op], pl)
+	case builtMsg:
+		ib.builts[pl.op] = append(ib.builts[pl.op], pl)
+	case probedMsg:
+		ib.probeds[pl.op] = append(ib.probeds[pl.op], pl)
+	case storeDone:
+		ib.stores = append(ib.stores, pl)
+	case aggPartial:
+		ib.aggParts = append(ib.aggParts, pl)
+	case aggDone:
+		ib.aggDones = append(ib.aggDones, pl)
+	case updateDone:
+		ib.updDones = append(ib.updDones, pl)
+	default:
+		panic(fmt.Sprintf("scheduler: unexpected message %T", msg.Payload))
+	}
+}
+
+func (ib *inbox) waitAgg() aggDone {
+	for len(ib.aggDones) == 0 {
+		ib.pump()
+	}
+	out := ib.aggDones[0]
+	ib.aggDones = ib.aggDones[1:]
+	return out
+}
+
+func (ib *inbox) waitAggPartial() aggPartial {
+	for len(ib.aggParts) == 0 {
+		ib.pump()
+	}
+	out := ib.aggParts[0]
+	ib.aggParts = ib.aggParts[1:]
+	return out
+}
+
+func (ib *inbox) waitUpdates(n int) []updateDone {
+	for len(ib.updDones) < n {
+		ib.pump()
+	}
+	out := ib.updDones
+	ib.updDones = nil
+	return out
+}
+
+func (ib *inbox) waitDones(op string, n int) []doneMsg {
+	for len(ib.dones[op]) < n {
+		ib.pump()
+	}
+	out := ib.dones[op]
+	delete(ib.dones, op)
+	return out
+}
+
+func (ib *inbox) waitBuilts(op string, n int) []builtMsg {
+	for len(ib.builts[op]) < n {
+		ib.pump()
+	}
+	out := ib.builts[op]
+	delete(ib.builts, op)
+	return out
+}
+
+func (ib *inbox) waitProbeds(op string, n int) []probedMsg {
+	for len(ib.probeds[op]) < n {
+		ib.pump()
+	}
+	out := ib.probeds[op]
+	delete(ib.probeds, op)
+	return out
+}
+
+func (ib *inbox) waitStores(n int) []storeDone {
+	for len(ib.stores) < n {
+		ib.pump()
+	}
+	out := ib.stores
+	ib.stores = nil
+	return out
+}
+
+// launchQuery spawns the host and scheduler processes around `body` without
+// running the simulation, so several queries can execute concurrently (each
+// query gets its own scheduler, as in Gamma, where the dispatcher activates
+// one idle scheduler process per query, §2).
+func (m *Machine) launchQuery(res *Result, body func(p *sim.Proc, ib *inbox, schedPort *nose.Port)) {
+	start := m.Sim.Now()
+	schedPort := m.Sched.NewPort("sched")
+	hostPort := m.Host.NewPort("host")
+	m.Sim.Spawn("scheduler", func(p *sim.Proc) {
+		schedPort.Recv(p) // the compiled query arrives from the host
+		ib := newInbox(p, schedPort)
+		body(p, ib, schedPort)
+		nose.SendCtl(p, m.Sched, hostPort, "done")
+	})
+	m.Sim.Spawn("host", func(p *sim.Proc) {
+		m.Host.CPU.Use(p, m.Prm.Engine.HostStartup)
+		nose.SendCtl(p, m.Host, schedPort, "query")
+		hostPort.Recv(p)
+		res.Elapsed = p.Now() - start
+	})
+}
+
+// runQuery launches one query and runs the simulation to completion.
+func (m *Machine) runQuery(res *Result, body func(p *sim.Proc, ib *inbox, schedPort *nose.Port)) {
+	m.ResetPools()
+	net0 := m.Net.Stats()
+	m.launchQuery(res, body)
+	m.Sim.Run()
+	net1 := m.Net.Stats()
+	res.DataPackets = net1.DataPackets - net0.DataPackets
+	res.LocalMsgs = net1.LocalMsgs - net0.LocalMsgs
+	res.CtlMsgs = net1.CtlMsgs - net0.CtlMsgs
+}
+
+// setupStores creates the result relation (unless toHost), initiates one
+// store operator per disk node (or a host collector), and returns the
+// destination ports plus a closure that closes them with the final EOS count.
+func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res *Result, resultName string, toHost bool, width int) (ports []*nose.Port, closeStores func(expectEOS int) int) {
+	if toHost {
+		colPort := m.Host.NewPort("collect")
+		spawnCollector(m, "collect", m.Host, colPort, schedPort, nil)
+		ports = []*nose.Port{colPort}
+	} else {
+		resRel := m.newResultRelation(resultName, width)
+		res.ResultName = resRel.Name
+		for i, nd := range m.Disk {
+			pt := nd.NewPort(fmt.Sprintf("store%d", i))
+			m.initOp(p, nd)
+			spawnStore(m, "store", i, resRel.Frags[i], pt, schedPort)
+			ports = append(ports, pt)
+		}
+	}
+	closeStores = func(expectEOS int) int {
+		for _, pt := range ports {
+			nose.SendCtl(p, m.Sched, pt, storeClose{expectEOS: expectEOS})
+		}
+		stored := 0
+		for _, sd := range ib.waitStores(len(ports)) {
+			stored += sd.stored
+		}
+		return stored
+	}
+	return ports, closeStores
+}
+
+// RunSelect executes a selection query (§5).
+func (m *Machine) RunSelect(q SelectQuery) Result {
+	var res Result
+	m.runQuery(&res, m.selectBody(q, &res))
+	return res
+}
+
+// selectBody builds the scheduler program for a selection query.
+func (m *Machine) selectBody(q SelectQuery, res *Result) func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
+	scan := m.resolveScan(q.Scan)
+	width := scan.Rel.width(m)
+	if len(q.Project) > 0 {
+		width = 4 * len(q.Project)
+	}
+	return func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
+		storePorts, closeStores := m.setupStores(p, ib, schedPort, res, q.ResultName, q.ToHost, width)
+		frags := m.scanSites(scan)
+		for si, frag := range frags {
+			m.initOp(p, frag.Node)
+			spawnSelect(m, "select", si, frag, scan.Pred, scan.Path, func() selectOutput {
+				return selectOutput{
+					stream: streamStore, ports: storePorts, route: RRRoute(len(storePorts)),
+					width: width, project: q.Project,
+				}
+			}, schedPort)
+		}
+		produced := 0
+		for _, d := range ib.waitDones("select", len(frags)) {
+			produced += d.produced
+		}
+		stored := closeStores(len(frags))
+		if q.ToHost {
+			res.Tuples = produced
+		} else {
+			res.Tuples = stored
+		}
+	}
+}
+
+// stage tracks one hash join's sites and overflow state at the scheduler.
+type stage struct {
+	opID      string
+	nodes     []*nose.Node
+	ports     []*nose.Port
+	buildAttr rel.Attr
+	probeAttr rel.Attr
+	// pending[level][site] = spool files awaiting an overflow round.
+	pending  map[int]map[int]spoolInfo
+	phases   int
+	perSite  []int
+	produced int
+}
+
+func (m *Machine) newStage(opID string, nodes []*nose.Node, buildAttr, probeAttr rel.Attr) *stage {
+	st := &stage{
+		opID:      opID,
+		nodes:     nodes,
+		buildAttr: buildAttr,
+		probeAttr: probeAttr,
+		pending:   map[int]map[int]spoolInfo{},
+		perSite:   make([]int, len(nodes)),
+	}
+	for i, nd := range nodes {
+		st.ports = append(st.ports, nd.NewPort(fmt.Sprintf("%s@%d", opID, i)))
+	}
+	return st
+}
+
+// absorb records a probing phase's reports: result counts, overflow
+// telemetry, and newly created spool partitions.
+func (st *stage) absorb(reports []probedMsg) {
+	for _, r := range reports {
+		st.produced += r.produced
+		st.perSite[r.site] = r.overflowEvents
+		for _, si := range r.newSpools {
+			lvl := st.pending[si.level]
+			if lvl == nil {
+				lvl = map[int]spoolInfo{}
+				st.pending[si.level] = lvl
+			}
+			lvl[r.site] = si
+		}
+	}
+	st.phases++
+}
+
+// runRounds drains the stage's overflow partitions: for each pending level,
+// every site's build spool is redistributed with a fresh hash function and
+// rebuilt, then the probe spools are redistributed and probed (§6.2.2).
+func (m *Machine) runRounds(p *sim.Proc, ib *inbox, schedPort *nose.Port, st *stage) {
+	nJ := len(st.nodes)
+	for len(st.pending) > 0 {
+		levels := make([]int, 0, len(st.pending))
+		for l := range st.pending {
+			levels = append(levels, l)
+		}
+		sort.Ints(levels)
+		l := levels[0]
+		infos := st.pending[l]
+		delete(st.pending, l)
+
+		// Round build: redistribute build spools under a new seed.
+		for si := range st.nodes {
+			nose.SendCtl(p, m.Sched, st.ports[si], joinCtl{kind: ctlRoundBuild, level: l})
+		}
+		for si, nd := range st.nodes {
+			info := infos[si]
+			// Spool files are rescanned by select-like operators at
+			// the disk site holding them (diskless processors spooled
+			// remotely), so Remote rounds pipeline across both CPU
+			// sets while Local rounds stack scan and join work on the
+			// same processors — the §6.2.2 crossover.
+			reader := nd
+			if info.owner != nil {
+				reader = info.owner
+			}
+			m.initOp(p, reader)
+			spawnSpoolScan(m, st.opID+".ovfbuild", si, info.build, info.owner, reader, func() selectOutput {
+				return selectOutput{stream: roundStream(l, false), ports: st.ports, route: HashRoute(st.buildAttr, roundSeed(l), nJ)}
+			}, schedPort)
+		}
+		ib.waitDones(st.opID+".ovfbuild", nJ)
+		ib.waitBuilts(st.opID, nJ)
+
+		// Round probe: redistribute probe spools likewise.
+		for si := range st.nodes {
+			nose.SendCtl(p, m.Sched, st.ports[si], joinCtl{kind: ctlRoundProbe, level: l})
+		}
+		for si, nd := range st.nodes {
+			info := infos[si]
+			reader := nd
+			if info.owner != nil {
+				reader = info.owner
+			}
+			m.initOp(p, reader)
+			spawnSpoolScan(m, st.opID+".ovfprobe", si, info.probe, info.owner, reader, func() selectOutput {
+				return selectOutput{stream: roundStream(l, true), ports: st.ports, route: HashRoute(st.probeAttr, roundSeed(l), nJ)}
+			}, schedPort)
+		}
+		ib.waitDones(st.opID+".ovfprobe", nJ)
+		st.absorb(ib.waitProbeds(st.opID, nJ))
+	}
+}
+
+// finish releases a stage's join operators.
+func (m *Machine) finishStage(p *sim.Proc, st *stage) {
+	for _, pt := range st.ports {
+		nose.SendCtl(p, m.Sched, pt, joinCtl{kind: ctlFinish})
+	}
+}
+
+// RunJoin executes a one- or two-stage hash join query (§6).
+func (m *Machine) RunJoin(q JoinQuery) Result {
+	var res Result
+	m.runQuery(&res, m.joinBody(q, &res))
+	return res
+}
+
+// joinBody builds the scheduler program for a join query.
+func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
+	build := m.resolveScan(q.Build)
+	probe := m.resolveScan(q.Probe)
+	var build2 ScanSpec
+	if q.Build2 != nil {
+		build2 = m.resolveScan(*q.Build2)
+	}
+	joinNodes := m.JoinNodes(q.Mode)
+	nJ := len(joinNodes)
+	memPer := q.MemPerJoinBytes
+	if memPer <= 0 {
+		memPer = m.Prm.Memory.JoinTableBytes
+	}
+	// Hybrid hash join plans its partition count from the optimizer's
+	// estimate of the per-site build size.
+	hybridParts := 0
+	if q.Algorithm == HybridHash {
+		estBytes := int(float64(q.Build.Rel.N) * q.Build.Pred.Selectivity(q.Build.Rel.N) * float64(m.Prm.TupleBytes) / float64(nJ))
+		if estBytes > memPer {
+			hybridParts = (estBytes-1)/memPer + 1 // spilled partitions
+		}
+	}
+
+	return func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
+		storePorts, closeStores := m.setupStores(p, ib, schedPort, res, q.ResultName, false, 0)
+
+		// Optional second stage, built first so stage one can stream
+		// into it.
+		var st2 *stage
+		if q.Build2 != nil {
+			st2 = m.newStage("join2", joinNodes, q.Build2Attr, q.Probe2Attr)
+			b2frags := m.scanSites(build2)
+			for si, nd := range joinNodes {
+				m.initOp(p, nd)
+				spawnJoin(joinSpec{
+					m: m, opID: "join2", site: si, node: nd, port: st2.ports[si], sched: schedPort,
+					buildAttr: q.Build2Attr, probeAttr: q.Probe2Attr,
+					nSites: nJ, nBuild: len(b2frags), nProbe: -1, memBytes: memPer,
+					outStream: streamStore, outPorts: storePorts,
+					mkOutRoute: func() RouteFn { return RRRoute(len(storePorts)) },
+				})
+			}
+			for si, frag := range b2frags {
+				m.initOp(p, frag.Node)
+				spawnSelect(m, "sel-build2", si, frag, build2.Pred, build2.Path, func() selectOutput {
+					return selectOutput{stream: streamBuild, ports: st2.ports, route: HashRoute(q.Build2Attr, LoadSeed, nJ)}
+				}, schedPort)
+			}
+			ib.waitDones("sel-build2", len(b2frags))
+			ib.waitBuilts("join2", nJ)
+		}
+
+		// Stage one join operators.
+		st1 := m.newStage("join1", joinNodes, q.BuildAttr, q.ProbeAttr)
+		outPorts := storePorts
+		outStream := streamStore
+		mkOutRoute := func() RouteFn { return RRRoute(len(storePorts)) }
+		if st2 != nil {
+			outPorts = st2.ports
+			outStream = streamProbe
+			mkOutRoute = func() RouteFn { return HashRoute(q.Probe2Attr, LoadSeed, nJ) }
+		}
+		bfrags := m.scanSites(build)
+		pfrags := m.scanSites(probe)
+		for si, nd := range joinNodes {
+			m.initOp(p, nd)
+			spawnJoin(joinSpec{
+				m: m, opID: "join1", site: si, node: nd, port: st1.ports[si], sched: schedPort,
+				buildAttr: q.BuildAttr, probeAttr: q.ProbeAttr,
+				nSites: nJ, nBuild: len(bfrags), nProbe: len(pfrags), memBytes: memPer,
+				outStream: outStream, outPorts: outPorts, mkOutRoute: mkOutRoute,
+				makeFilter: q.UseBitFilter, filterBits: 1 << 16,
+				algo: q.Algorithm, hybridParts: hybridParts,
+			})
+		}
+
+		// Build selections.
+		for si, frag := range bfrags {
+			m.initOp(p, frag.Node)
+			spawnSelect(m, "sel-build", si, frag, build.Pred, build.Path, func() selectOutput {
+				return selectOutput{stream: streamBuild, ports: st1.ports, route: HashRoute(q.BuildAttr, LoadSeed, nJ)}
+			}, schedPort)
+		}
+		ib.waitDones("sel-build", len(bfrags))
+		builts := ib.waitBuilts("join1", nJ)
+
+		// Probe selections, with Babb filters if every site produced one.
+		filters := make([]*BitFilter, nJ)
+		haveFilters := q.UseBitFilter
+		for _, b := range builts {
+			if b.filter == nil {
+				haveFilters = false
+			} else {
+				filters[b.site] = b.filter
+			}
+		}
+		for si, frag := range pfrags {
+			m.initOp(p, frag.Node)
+			fr := frag
+			spawnSelect(m, "sel-probe", si, fr, probe.Pred, probe.Path, func() selectOutput {
+				out := selectOutput{stream: streamProbe, ports: st1.ports, route: HashRoute(q.ProbeAttr, LoadSeed, nJ)}
+				if haveFilters {
+					out.filters = filters
+					out.filterAttr = q.ProbeAttr
+				}
+				return out
+			}, schedPort)
+		}
+		ib.waitDones("sel-probe", len(pfrags))
+		st1.absorb(ib.waitProbeds("join1", nJ))
+
+		// Stage-one overflow rounds, then release its operators.
+		m.runRounds(p, ib, schedPort, st1)
+		m.finishStage(p, st1)
+
+		finalStage := st1
+		if st2 != nil {
+			for _, pt := range st2.ports {
+				nose.SendCtl(p, m.Sched, pt, joinCtl{kind: ctlProbeClose, expectEOS: nJ * st1.phases})
+			}
+			st2.absorb(ib.waitProbeds("join2", nJ))
+			m.runRounds(p, ib, schedPort, st2)
+			m.finishStage(p, st2)
+			finalStage = st2
+		}
+
+		res.Tuples = closeStores(nJ * finalStage.phases)
+		res.OverflowPerSite = append(st1.perSite[:0:0], st1.perSite...)
+		if st2 != nil {
+			for i, v := range st2.perSite {
+				res.OverflowPerSite[i] += v
+			}
+		}
+		for _, v := range res.OverflowPerSite {
+			if v > res.Overflows {
+				res.Overflows = v
+			}
+		}
+	}
+}
+
+// ConcurrentQuery is one member of a multiuser workload: exactly one of the
+// fields is set.
+type ConcurrentQuery struct {
+	Select *SelectQuery
+	Join   *JoinQuery
+}
+
+// RunConcurrent starts every query at the same simulated instant — the
+// multiuser scenario §6.2.1 defers to "future multiuser benchmarks" — and
+// returns each query's response time. Each query gets its own scheduler
+// process, as Gamma's dispatcher would assign.
+func (m *Machine) RunConcurrent(qs []ConcurrentQuery) []Result {
+	m.ResetPools()
+	results := make([]Result, len(qs))
+	for i, q := range qs {
+		switch {
+		case q.Select != nil:
+			m.launchQuery(&results[i], m.selectBody(*q.Select, &results[i]))
+		case q.Join != nil:
+			m.launchQuery(&results[i], m.joinBody(*q.Join, &results[i]))
+		default:
+			panic("core: empty ConcurrentQuery")
+		}
+	}
+	m.Sim.Run()
+	return results
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"gamma/internal/disk"
+	"gamma/internal/sim"
+)
+
+// UtilSnapshot captures every resource's cumulative busy time so a query's
+// own consumption can be reported as a delta.
+type UtilSnapshot struct {
+	at    sim.Time
+	cpu   map[int]sim.Dur
+	nic   map[int]sim.Dur
+	drive map[int]sim.Dur
+	dstat map[int]disk.Stats
+	ring  sim.Dur
+}
+
+// Snapshot records current resource totals.
+func (m *Machine) Snapshot() UtilSnapshot {
+	s := UtilSnapshot{
+		at:    m.Sim.Now(),
+		cpu:   map[int]sim.Dur{},
+		nic:   map[int]sim.Dur{},
+		drive: map[int]sim.Dur{},
+		dstat: map[int]disk.Stats{},
+	}
+	for _, nd := range m.Net.Nodes() {
+		b, _, _ := nd.CPU.Stats()
+		s.cpu[nd.ID] = b
+		b, _, _ = nd.NIC.Stats()
+		s.nic[nd.ID] = b
+		if nd.Drive != nil {
+			db, _, _ := nd.Drive.Resource().Stats()
+			s.drive[nd.ID] = db
+			s.dstat[nd.ID] = nd.Drive.Stats()
+		}
+	}
+	s.ring, _, _ = m.Net.Ring().Stats()
+	return s
+}
+
+// nodeRole labels a node for the report.
+func (m *Machine) nodeRole(id int) string {
+	switch {
+	case id == m.Host.ID:
+		return "host"
+	case id == m.Sched.ID:
+		return "scheduler"
+	case m.rec != nil && id == m.rec.Server.ID:
+		return "recovery"
+	default:
+		for _, nd := range m.Disk {
+			if nd.ID == id {
+				return "disk"
+			}
+		}
+		return "diskless"
+	}
+}
+
+// WriteUtilization reports each resource's busy time and utilization since
+// the snapshot, plus per-drive access mixes — enough to see which resource
+// bound a query (the disk-bound/CPU-bound/NIC-bound transitions of §5-§6).
+func (m *Machine) WriteUtilization(w io.Writer, since UtilSnapshot) {
+	window := m.Sim.Now() - since.at
+	if window <= 0 {
+		fmt.Fprintln(w, "utilization: empty window")
+		return
+	}
+	util := func(d sim.Dur) string {
+		return fmt.Sprintf("%6.1f%%", 100*float64(d)/float64(window))
+	}
+	fmt.Fprintf(w, "window: %.3fs simulated\n", window.Seconds())
+	fmt.Fprintf(w, "%-4s %-10s %-18s %-18s %-18s %s\n", "node", "role", "cpu", "nic", "drive", "drive access mix")
+	for _, nd := range m.Net.Nodes() {
+		cpu := mustDelta(nd.CPU, since.cpu[nd.ID])
+		nic := mustDelta(nd.NIC, since.nic[nd.ID])
+		driveCol := "        -"
+		mix := ""
+		if nd.Drive != nil {
+			db, _, _ := nd.Drive.Resource().Stats()
+			d := db - since.drive[nd.ID]
+			driveCol = fmt.Sprintf("%8.3fs %s", d.Seconds(), util(d))
+			now := nd.Drive.Stats()
+			was := since.dstat[nd.ID]
+			mix = fmt.Sprintf("seqR=%d randR=%d seqW=%d randW=%d",
+				now.SeqReads-was.SeqReads, now.RandReads-was.RandReads,
+				now.SeqWrites-was.SeqWrites, now.RandWrites-was.RandWrites)
+		}
+		fmt.Fprintf(w, "%-4d %-10s %8.3fs %s %8.3fs %s %-18s %s\n",
+			nd.ID, m.nodeRole(nd.ID),
+			cpu.Seconds(), util(cpu),
+			nic.Seconds(), util(nic),
+			driveCol, mix)
+	}
+	ringNow, _, _ := m.Net.Ring().Stats()
+	ring := ringNow - since.ring
+	fmt.Fprintf(w, "ring %-10s %8.3fs %s\n", "", ring.Seconds(), util(ring))
+}
+
+func mustDelta(r *sim.Resource, was sim.Dur) sim.Dur {
+	now, _, _ := r.Stats()
+	return now - was
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gamma/internal/rel"
+)
+
+func TestUtilizationReport(t *testing.T) {
+	m, r := newMachineWithRel(2, 2, 2000)
+	snap := m.Snapshot()
+	m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 199), Path: PathHeap}})
+	var sb strings.Builder
+	m.WriteUtilization(&sb, snap)
+	out := sb.String()
+	for _, want := range []string{"host", "scheduler", "disk", "diskless", "ring", "seqR="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// A heap scan at 4 KB pages must show the drives as the busiest
+	// resource class (§5.2.2: disk-bound).
+	if !strings.Contains(out, "%") {
+		t.Error("no utilization percentages")
+	}
+}
+
+func TestSnapshotDeltasIsolateQueries(t *testing.T) {
+	m, r := newMachineWithRel(2, 0, 1000)
+	m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.True(), Path: PathHeap}})
+	snap := m.Snapshot() // after the first query
+	var sb strings.Builder
+	m.WriteUtilization(&sb, snap)
+	if !strings.Contains(sb.String(), "empty window") {
+		t.Errorf("no-op window should report empty, got:\n%s", sb.String())
+	}
+}

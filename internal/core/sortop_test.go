@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"gamma/internal/rel"
+)
+
+func TestRunSortProducesGlobalOrder(t *testing.T) {
+	m, r := newMachineWithRel(4, 0, 3000)
+	res := m.RunSort(SortQuery{
+		Scan: ScanSpec{Rel: r, Pred: rel.True(), Path: PathHeap},
+		By:   rel.Unique2,
+	})
+	if res.Tuples != 3000 {
+		t.Fatalf("sorted %d tuples", res.Tuples)
+	}
+	out, ok := m.Relation(res.ResultName)
+	if !ok {
+		t.Fatal("result relation missing")
+	}
+	last := int32(-1)
+	count := 0
+	for _, fr := range out.Frags {
+		for pg := 0; pg < fr.File.Pages(); pg++ {
+			for _, tp := range fr.File.PageTuples(pg) {
+				k := tp.Get(rel.Unique2)
+				if k < last {
+					t.Fatalf("out of order: %d after %d", k, last)
+				}
+				last = k
+				count++
+			}
+		}
+	}
+	if count != 3000 {
+		t.Errorf("stored %d", count)
+	}
+}
+
+func TestRunSortWithPredicate(t *testing.T) {
+	m, r := newMachineWithRel(4, 0, 2000)
+	res := m.RunSort(SortQuery{
+		Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, 499), Path: PathClustered},
+		By:   rel.Unique2,
+	})
+	if res.Tuples != 500 {
+		t.Errorf("sorted %d tuples, want 500", res.Tuples)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("zero elapsed")
+	}
+}
+
+func TestRunSortEmpty(t *testing.T) {
+	m, r := newMachineWithRel(4, 0, 500)
+	res := m.RunSort(SortQuery{
+		Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, -2, -1), Path: PathHeap},
+		By:   rel.Unique1,
+	})
+	if res.Tuples != 0 {
+		t.Errorf("sorted %d tuples from empty qualification", res.Tuples)
+	}
+}

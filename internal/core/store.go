@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"gamma/internal/nose"
+	"gamma/internal/sim"
+)
+
+// storeClose tells a store operator how many end-of-stream messages to
+// expect in total; it terminates once that many have arrived. The count is
+// sent by the scheduler when the number of producer phases is finally known
+// (overflow rounds make it dynamic).
+type storeClose struct {
+	expectEOS int
+}
+
+// storeDone reports a finished store operator.
+type storeDone struct {
+	site   int
+	stored int
+}
+
+// spawnStore starts a store operator on a result fragment's node: it
+// receives result tuples, assigns record ids, and writes pages to the local
+// drive with write-behind (§2: "store operators at each disk site assume
+// responsibility for writing the result tuples to disk").
+func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port, sched *nose.Port) {
+	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+		eng := m.Prm.Engine
+		ap := frag.File.NewAppender()
+		eos := 0
+		expect := -1
+		for expect < 0 || eos < expect {
+			msg := in.Recv(p)
+			switch pl := msg.Payload.(type) {
+			case packet:
+				frag.Node.UseCPU(p, eng.InstrPerTupleStore*len(pl.tuples))
+				for _, t := range pl.tuples {
+					ap.Append(p, t)
+					m.logRecord(p, frag.Node, m.Prm.TupleBytes)
+				}
+			case eosPayload:
+				eos++
+			case storeClose:
+				expect = pl.expectEOS
+			default:
+				panic(fmt.Sprintf("store: unexpected message %T", msg.Payload))
+			}
+		}
+		n := ap.Close(p)
+		m.logForce(p, frag.Node)
+		nose.SendCtl(p, frag.Node, sched, storeDone{site: site, stored: n})
+	})
+}
+
+// spawnCollector starts a lightweight sink on a node (typically the host)
+// that gathers result tuples into memory instead of storing them — used for
+// single-tuple selects and aggregate results returned to the user. It obeys
+// the same close protocol as a store operator.
+func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sched *nose.Port, sink func(n int)) {
+	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, node.ID), func(p *sim.Proc) {
+		eng := m.Prm.Engine
+		eos := 0
+		expect := -1
+		total := 0
+		for expect < 0 || eos < expect {
+			msg := in.Recv(p)
+			switch pl := msg.Payload.(type) {
+			case packet:
+				node.UseCPU(p, eng.InstrPerTupleStore*len(pl.tuples))
+				total += len(pl.tuples)
+			case eosPayload:
+				eos++
+			case storeClose:
+				expect = pl.expectEOS
+			default:
+				panic(fmt.Sprintf("collector: unexpected message %T", msg.Payload))
+			}
+		}
+		if sink != nil {
+			sink(total)
+		}
+		nose.SendCtl(p, node, sched, storeDone{site: 0, stored: total})
+	})
+}

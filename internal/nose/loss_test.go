@@ -1,0 +1,78 @@
+package nose
+
+import (
+	"testing"
+
+	"gamma/internal/sim"
+)
+
+func TestLossRecoveredByRetransmission(t *testing.T) {
+	s, n := testNet(t, 2)
+	n.InjectLoss(1, 4) // drop every 4th packet
+	a, b := n.Nodes()[0], n.Nodes()[1]
+	port := b.NewPort("p")
+	const total = 40
+	var got []int
+	s.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			m := port.Recv(p)
+			got = append(got, m.Payload.(int))
+		}
+	})
+	s.Spawn("send", func(p *sim.Proc) {
+		c := a.Dial(port)
+		for i := 0; i < total; i++ {
+			c.Send(p, Data, i, 1024)
+		}
+	})
+	s.Run()
+	if len(got) != total {
+		t.Fatalf("received %d of %d messages despite retransmission", len(got), total)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("message %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if n.Retransmits() == 0 {
+		t.Error("no retransmissions recorded; loss injection inactive")
+	}
+}
+
+func TestLossCostsTime(t *testing.T) {
+	run := func(lossy bool) sim.Time {
+		s, n := testNet(t, 2)
+		if lossy {
+			n.InjectLoss(1, 3)
+		}
+		a, b := n.Nodes()[0], n.Nodes()[1]
+		port := b.NewPort("p")
+		s.Spawn("recv", func(p *sim.Proc) {
+			for i := 0; i < 30; i++ {
+				port.Recv(p)
+			}
+		})
+		s.Spawn("send", func(p *sim.Proc) {
+			c := a.Dial(port)
+			for i := 0; i < 30; i++ {
+				c.Send(p, Data, i, 2048)
+			}
+		})
+		return s.Run()
+	}
+	clean, lossy := run(false), run(true)
+	if lossy <= clean {
+		t.Errorf("lossy network (%v) should be slower than clean (%v)", lossy, clean)
+	}
+}
+
+func TestNoLossByDefault(t *testing.T) {
+	_, n := testNet(t, 2)
+	for i := 0; i < 1000; i++ {
+		if n.dropNext() {
+			t.Fatal("packet dropped with loss injection disabled")
+		}
+	}
+}

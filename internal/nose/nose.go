@@ -1,0 +1,334 @@
+// Package nose models NOSE, the operating system Gamma is built on (§2):
+// processors connected by a token ring, lightweight processes, ports, and a
+// reliable sliding-window datagram service.
+//
+// The cost structure follows the paper's analysis:
+//
+//   - The 80 Mbit/s Proteon ring itself is "never a bottleneck"; the 4 Mbit/s
+//     Unibus path from memory to the network interface is (§5.2.1). Each node
+//     therefore has a NIC resource capped at Unibus bandwidth, shared by
+//     inbound and outbound traffic.
+//   - Messages between processes on the same processor are short-circuited by
+//     the communications software (§2) and cost only a little CPU.
+//   - The sliding-window protocol bounds the packets a sender may have
+//     outstanding to one destination; a slow consumer therefore stalls its
+//     producers, which is how a saturated NIC pushes back on a disk scan
+//     (§5.2.1's explanation of the 10% selection speedup curve).
+package nose
+
+import (
+	"fmt"
+
+	"gamma/internal/config"
+	"gamma/internal/disk"
+	"gamma/internal/sim"
+)
+
+// MsgKind distinguishes the three message classes of §2.
+type MsgKind int
+
+const (
+	// Data is a packet of tuples flowing through a split table.
+	Data MsgKind = iota
+	// EndOfStream closes one producer's output stream to a port.
+	EndOfStream
+	// Control is a scheduler/operator control message.
+	Control
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case EndOfStream:
+		return "eos"
+	default:
+		return "control"
+	}
+}
+
+// Message is a datagram delivered to a Port.
+type Message struct {
+	From    *Node
+	Kind    MsgKind
+	Payload any
+	// release returns the sender's window credit; set on remote sends and
+	// invoked when the receiver consumes the message.
+	release func()
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	DataPackets int64 // packets that crossed the ring
+	LocalMsgs   int64 // messages short-circuited on one node
+	CtlMsgs     int64 // inter-node control messages
+	RingBytes   int64
+}
+
+// Network is the token ring plus every node attached to it.
+type Network struct {
+	sim   *sim.Sim
+	cfg   config.Net
+	cpu   config.CPU
+	ring  *sim.Resource
+	nodes []*Node
+	stats Stats
+	// Fault injection: lossNum/lossDen packets are dropped in transit and
+	// recovered by the sliding-window protocol's timeout retransmission.
+	lossNum, lossDen int
+	lossCtr          int
+	retransmits      int64
+}
+
+// retransmitTimeout is the sliding-window protocol's retransmission timer.
+const retransmitTimeout = 50 * sim.Millisecond
+
+// InjectLoss makes every (den/num)-th data packet vanish in transit,
+// deterministically, exercising the NOSE protocol's reliability machinery
+// (§2: "reliable, datagram communication services using a multiple bit,
+// sliding window protocol"). num 0 disables loss.
+func (n *Network) InjectLoss(num, den int) {
+	n.lossNum, n.lossDen = num, den
+	n.lossCtr = 0
+}
+
+// Retransmits reports how many packets the protocol had to resend.
+func (n *Network) Retransmits() int64 { return n.retransmits }
+
+// dropNext deterministically decides whether the next packet is lost.
+func (n *Network) dropNext() bool {
+	if n.lossNum <= 0 || n.lossDen <= 0 {
+		return false
+	}
+	n.lossCtr++
+	return n.lossCtr%((n.lossDen+n.lossNum-1)/n.lossNum) == 0
+}
+
+// NewNetwork creates an empty ring.
+func NewNetwork(s *sim.Sim, cfg config.Net, cpu config.CPU) *Network {
+	return &Network{sim: s, cfg: cfg, cpu: cpu, ring: s.NewResource("ring")}
+}
+
+// Sim returns the simulation the network runs on.
+func (n *Network) Sim() *sim.Sim { return n.sim }
+
+// Config returns the network cost parameters.
+func (n *Network) Config() config.Net { return n.cfg }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Nodes returns all attached nodes in attachment order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Ring exposes the shared token-ring resource (for utilization reports).
+func (n *Network) Ring() *sim.Resource { return n.ring }
+
+// Node is one processor: a CPU, a network interface, and optionally a disk
+// drive (§2: 8 of Gamma's 17 processors have disks).
+type Node struct {
+	ID  int
+	net *Network
+	CPU *sim.Resource
+	NIC *sim.Resource
+	// Drive is nil on diskless processors.
+	Drive *disk.Drive
+	// SpoolNode is where this node's temporary files live: itself for
+	// disk nodes, an assigned disk node for diskless processors (join
+	// overflow resolution spools partitions to temporary files, §6).
+	SpoolNode *Node
+}
+
+// AddNode attaches a node; diskCfg is used only when withDisk is true.
+func (n *Network) AddNode(withDisk bool, diskCfg config.Disk) *Node {
+	id := len(n.nodes)
+	nd := &Node{
+		ID:  id,
+		net: n,
+		CPU: n.sim.NewResource(fmt.Sprintf("cpu%d", id)),
+		NIC: n.sim.NewResource(fmt.Sprintf("nic%d", id)),
+	}
+	if withDisk {
+		nd.Drive = disk.New(n.sim, fmt.Sprintf("disk%d", id), diskCfg)
+		nd.SpoolNode = nd
+	}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// Network returns the ring the node is attached to.
+func (nd *Node) Network() *Network { return nd.net }
+
+// UseCPU charges instr instructions to the node's CPU on behalf of p.
+func (nd *Node) UseCPU(p *sim.Proc, instr int) {
+	if instr > 0 {
+		nd.CPU.Use(p, nd.net.cpu.Time(instr))
+	}
+}
+
+// Port is a well-known mailbox on a node. Operator processes receive their
+// input streams and control packets through ports.
+type Port struct {
+	node  *Node
+	name  string
+	queue []Message
+	recvq *sim.WaitQ
+}
+
+// NewPort creates a named port on the node.
+func (nd *Node) NewPort(name string) *Port {
+	return &Port{node: nd, name: name, recvq: nd.net.sim.NewWaitQ("port:" + name)}
+}
+
+// Node returns the port's home node.
+func (pt *Port) Node() *Node { return pt.node }
+
+// Name returns the port name.
+func (pt *Port) Name() string { return pt.name }
+
+// Pending returns the number of queued, undelivered messages.
+func (pt *Port) Pending() int { return len(pt.queue) }
+
+// deliver enqueues m and wakes one waiting receiver. Kernel context.
+func (pt *Port) deliver(m Message) {
+	pt.queue = append(pt.queue, m)
+	pt.recvq.WakeOne()
+}
+
+// Recv blocks p until a message is available and returns it. Receiving a
+// remote data packet charges the protocol-processing CPU cost to p.
+func (pt *Port) Recv(p *sim.Proc) Message {
+	for len(pt.queue) == 0 {
+		pt.recvq.Park(p)
+	}
+	m := pt.queue[0]
+	pt.queue = pt.queue[1:]
+	if m.From != nil && m.From != pt.node && m.Kind == Data {
+		pt.node.UseCPU(p, pt.node.net.cfg.InstrPerPacket)
+	}
+	if m.release != nil {
+		m.release()
+		m.release = nil
+	}
+	return m
+}
+
+// TryRecv returns a queued message without blocking, if one is available.
+func (pt *Port) TryRecv(p *sim.Proc) (Message, bool) {
+	if len(pt.queue) == 0 {
+		return Message{}, false
+	}
+	return pt.Recv(p), true
+}
+
+// Conn is a sender's sliding-window connection to a destination port. Each
+// (producer process, destination) pair uses its own Conn.
+type Conn struct {
+	from    *Node
+	to      *Port
+	credits int
+	waitq   *sim.WaitQ
+}
+
+// Dial opens a connection from nd to the port.
+func (nd *Node) Dial(to *Port) *Conn {
+	w := nd.net.cfg.Window
+	if w <= 0 {
+		w = 1
+	}
+	return &Conn{from: nd, to: to, credits: w, waitq: nd.net.sim.NewWaitQ("win")}
+}
+
+// Local reports whether the connection short-circuits (same node).
+func (c *Conn) Local() bool { return c.from == c.to.node }
+
+// Send transmits a data packet of the given byte size carrying payload.
+// Same-node sends short-circuit: a little CPU and immediate delivery.
+// Remote sends consume a window credit (blocking when the window is full),
+// the sender's protocol CPU, the sender's NIC, the ring, and the receiver's
+// NIC; the credit returns when the receiver consumes the packet.
+func (c *Conn) Send(p *sim.Proc, kind MsgKind, payload any, bytes int) {
+	net := c.from.net
+	if c.Local() {
+		c.from.UseCPU(p, net.cfg.InstrPerLocalMsg)
+		net.stats.LocalMsgs++
+		c.to.deliver(Message{From: c.from, Kind: kind, Payload: payload})
+		return
+	}
+	for c.credits == 0 {
+		c.waitq.Park(p)
+	}
+	c.credits--
+	c.from.UseCPU(p, net.cfg.InstrPerPacket)
+	c.from.NIC.Use(p, net.cfg.NICTime(bytes))
+	net.stats.DataPackets++
+	net.stats.RingBytes += int64(bytes)
+	ringDone := net.ring.UseAsync(net.cfg.RingTime(bytes))
+	conn := c
+	release := func() {
+		conn.credits++
+		conn.waitq.WakeOne()
+	}
+	c.transmit(ringDone, kind, payload, bytes, release)
+}
+
+// transmit schedules the in-flight half of a remote send: ring transit,
+// receiver NIC, and delivery. A packet the fault injector drops is resent
+// after the protocol's retransmission timeout (charging the ring and both
+// NICs again, asynchronously — the sender's process is not re-blocked, as
+// the window already accounts for the unacknowledged packet).
+func (c *Conn) transmit(ringDone sim.Time, kind MsgKind, payload any, bytes int, release func()) {
+	net := c.from.net
+	net.sim.At(ringDone, func() {
+		if net.dropNext() {
+			net.retransmits++
+			retry := c.from.NIC.UseAsync(net.cfg.NICTime(bytes))
+			if t := net.sim.Now() + retransmitTimeout; t > retry {
+				retry = t
+			}
+			ringRetry := net.ring.UseAsync(net.cfg.RingTime(bytes))
+			if ringRetry < retry {
+				ringRetry = retry
+			}
+			c.transmit(ringRetry, kind, payload, bytes, release)
+			return
+		}
+		nicDone := c.to.node.NIC.UseAsync(net.cfg.NICTime(bytes))
+		net.sim.At(nicDone, func() {
+			// The credit returns only when the receiving process
+			// consumes the packet (Port.Recv), so a slow consumer
+			// stalls its producers once the window fills.
+			c.to.deliver(Message{From: c.from, Kind: kind, Payload: payload, release: release})
+		})
+	})
+}
+
+// TransferBulk charges p for moving bytes between two nodes outside the
+// port/window machinery (spool-file traffic of diskless processors). It is
+// a no-op between a node and itself.
+func (n *Network) TransferBulk(p *sim.Proc, from, to *Node, bytes int) {
+	if from == to || from == nil || to == nil {
+		return
+	}
+	from.NIC.Use(p, n.cfg.NICTime(bytes))
+	n.ring.Use(p, n.cfg.RingTime(bytes))
+	to.NIC.Use(p, n.cfg.NICTime(bytes))
+	n.stats.RingBytes += int64(bytes)
+}
+
+// SendCtl sends a small control message. Inter-node control messages cost
+// the sender CtlMsg of CPU time (§6.2.3's 7 ms), which serializes a
+// scheduler initiating operators across many nodes; same-node control
+// messages short-circuit.
+func SendCtl(p *sim.Proc, from *Node, to *Port, payload any) {
+	net := from.net
+	if from == to.node {
+		from.UseCPU(p, net.cfg.InstrPerLocalMsg)
+		net.stats.LocalMsgs++
+		to.deliver(Message{From: from, Kind: Control, Payload: payload})
+		return
+	}
+	from.CPU.Use(p, net.cfg.CtlMsg)
+	net.stats.CtlMsgs++
+	to.deliver(Message{From: from, Kind: Control, Payload: payload})
+}

@@ -1,0 +1,211 @@
+package nose
+
+import (
+	"testing"
+
+	"gamma/internal/config"
+	"gamma/internal/sim"
+)
+
+func testNet(t *testing.T, nodes int) (*sim.Sim, *Network) {
+	t.Helper()
+	s := sim.New()
+	p := config.Default()
+	n := NewNetwork(s, p.Net, p.CPU)
+	for i := 0; i < nodes; i++ {
+		n.AddNode(false, p.Disk)
+	}
+	return s, n
+}
+
+func TestLocalSendShortCircuits(t *testing.T) {
+	s, n := testNet(t, 1)
+	nd := n.Nodes()[0]
+	port := nd.NewPort("p")
+	var got any
+	s.Spawn("recv", func(p *sim.Proc) {
+		m := port.Recv(p)
+		got = m.Payload
+	})
+	s.Spawn("send", func(p *sim.Proc) {
+		c := nd.Dial(port)
+		if !c.Local() {
+			t.Error("expected local connection")
+		}
+		c.Send(p, Data, "hello", 2048)
+	})
+	s.Run()
+	if got != "hello" {
+		t.Errorf("payload = %v", got)
+	}
+	st := n.Stats()
+	if st.LocalMsgs != 1 || st.DataPackets != 0 {
+		t.Errorf("stats = %+v, want short-circuit only", st)
+	}
+}
+
+func TestRemoteSendCrossesRingAndNICs(t *testing.T) {
+	s, n := testNet(t, 2)
+	a, b := n.Nodes()[0], n.Nodes()[1]
+	port := b.NewPort("p")
+	var delivered sim.Time
+	s.Spawn("recv", func(p *sim.Proc) {
+		port.Recv(p)
+		delivered = p.Now()
+	})
+	s.Spawn("send", func(p *sim.Proc) {
+		a.Dial(port).Send(p, Data, nil, 2048)
+	})
+	s.Run()
+	// Sender CPU (protocol) + sender NIC (2 KB Unibus = 4096us) + ring +
+	// receiver NIC must all have elapsed.
+	cfg := n.Config()
+	minT := cfg.NICTime(2048)*2 + cfg.RingTime(2048)
+	if delivered < minT {
+		t.Errorf("delivered at %v, want >= %v", delivered, minT)
+	}
+	if st := n.Stats(); st.DataPackets != 1 {
+		t.Errorf("stats = %+v, want 1 data packet", st)
+	}
+}
+
+func TestWindowBackpressureStallsSender(t *testing.T) {
+	s, n := testNet(t, 2)
+	a, b := n.Nodes()[0], n.Nodes()[1]
+	port := b.NewPort("p")
+	window := n.Config().Window
+
+	const total = 20
+	var lastSendDone sim.Time
+	consumeEvery := sim.Dur(100 * sim.Millisecond)
+
+	s.Spawn("slow-recv", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			port.Recv(p)
+			p.Sleep(consumeEvery)
+		}
+	})
+	s.Spawn("fast-send", func(p *sim.Proc) {
+		c := a.Dial(port)
+		for i := 0; i < total; i++ {
+			c.Send(p, Data, i, 2048)
+		}
+		lastSendDone = p.Now()
+	})
+	s.Run()
+	// With a window of `window`, the sender can run at most `window`
+	// packets ahead of the consumer, so the last send cannot start before
+	// the consumer has consumed total-window-1 packets (the consumer
+	// receives packet k at roughly k*consumeEvery).
+	minT := sim.Dur(total-window-1) * consumeEvery
+	if lastSendDone < minT {
+		t.Errorf("sender finished at %v; window failed to throttle (want >= %v)", lastSendDone, minT)
+	}
+}
+
+func TestManySendersFIFOIntoOnePort(t *testing.T) {
+	s, n := testNet(t, 4)
+	dst := n.Nodes()[3]
+	port := dst.NewPort("sink")
+	var got []int
+	s.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			m := port.Recv(p)
+			got = append(got, m.Payload.(int))
+		}
+	})
+	for i := 0; i < 3; i++ {
+		src := n.Nodes()[i]
+		val := i
+		s.Spawn("send", func(p *sim.Proc) {
+			c := src.Dial(port)
+			c.Send(p, Data, val, 2048)
+			c.Send(p, Data, val+10, 2048)
+		})
+	}
+	s.Run()
+	if len(got) != 6 {
+		t.Fatalf("received %d messages, want 6", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	for _, want := range []int{0, 1, 2, 10, 11, 12} {
+		if !seen[want] {
+			t.Errorf("missing message %d", want)
+		}
+	}
+}
+
+func TestCtlMsgCostsSenderSevenMS(t *testing.T) {
+	s, n := testNet(t, 2)
+	a, b := n.Nodes()[0], n.Nodes()[1]
+	port := b.NewPort("ctl")
+	var sendDone sim.Time
+	s.Spawn("recv", func(p *sim.Proc) { port.Recv(p) })
+	s.Spawn("sched", func(p *sim.Proc) {
+		SendCtl(p, a, port, "initiate")
+		sendDone = p.Now()
+	})
+	s.Run()
+	if sendDone != n.Config().CtlMsg {
+		t.Errorf("control send took %v, want %v", sendDone, n.Config().CtlMsg)
+	}
+	if st := n.Stats(); st.CtlMsgs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCtlMsgSerializesAtScheduler(t *testing.T) {
+	s, n := testNet(t, 9)
+	sched := n.Nodes()[0]
+	var done sim.Time
+	ports := make([]*Port, 8)
+	for i := 0; i < 8; i++ {
+		ports[i] = n.Nodes()[i+1].NewPort("op")
+		pt := ports[i]
+		s.Spawn("op", func(p *sim.Proc) { pt.Recv(p) })
+	}
+	s.Spawn("sched", func(p *sim.Proc) {
+		for _, pt := range ports {
+			SendCtl(p, sched, pt, "go")
+		}
+		done = p.Now()
+	})
+	s.Run()
+	if want := 8 * n.Config().CtlMsg; done != want {
+		t.Errorf("scheduling 8 nodes took %v, want %v", done, want)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	s, n := testNet(t, 1)
+	nd := n.Nodes()[0]
+	port := nd.NewPort("p")
+	s.Spawn("p", func(p *sim.Proc) {
+		if _, ok := port.TryRecv(p); ok {
+			t.Error("TryRecv on empty port returned a message")
+		}
+		nd.Dial(port).Send(p, Data, 7, 64)
+		m, ok := port.TryRecv(p)
+		if !ok || m.Payload.(int) != 7 {
+			t.Errorf("TryRecv = %v %v", m, ok)
+		}
+	})
+	s.Run()
+}
+
+func TestNodeSpoolAssignment(t *testing.T) {
+	s := sim.New()
+	p := config.Default()
+	n := NewNetwork(s, p.Net, p.CPU)
+	withDisk := n.AddNode(true, p.Disk)
+	diskless := n.AddNode(false, p.Disk)
+	if withDisk.Drive == nil || withDisk.SpoolNode != withDisk {
+		t.Error("disk node should spool to itself")
+	}
+	if diskless.Drive != nil || diskless.SpoolNode != nil {
+		t.Error("diskless node should start with no drive and no spool target")
+	}
+}

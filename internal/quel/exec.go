@@ -1,0 +1,387 @@
+package quel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gamma/internal/core"
+	"gamma/internal/rel"
+)
+
+// execRange handles `range of <var> is <relation>`.
+func (s *Session) execRange(p *parser) (Output, error) {
+	p.next() // range
+	if err := p.expect("of"); err != nil {
+		return Output{}, err
+	}
+	v := p.next()
+	if err := p.expect("is"); err != nil {
+		return Output{}, err
+	}
+	relName := p.next()
+	r, ok := s.m.Relation(relName)
+	if !ok {
+		return Output{}, fmt.Errorf("quel: unknown relation %q", relName)
+	}
+	if !p.done() {
+		return Output{}, fmt.Errorf("quel: trailing input after range statement")
+	}
+	s.ranges[v] = r
+	return Output{Message: fmt.Sprintf("range variable %s bound to %s (%d tuples)", v, relName, r.N)}, nil
+}
+
+// aggSpec is a parsed aggregate target: fn(var.attr).
+type aggSpec struct {
+	fn   core.AggFn
+	v    string
+	attr rel.Attr
+}
+
+var aggNames = map[string]core.AggFn{
+	"count": core.Count, "sum": core.Sum, "min": core.Min, "max": core.Max, "avg": core.Avg,
+}
+
+// execRetrieve handles plain, into, join, and aggregate retrieves.
+func (s *Session) execRetrieve(p *parser) (Output, error) {
+	p.next() // retrieve
+	into := ""
+	if strings.EqualFold(p.peek(), "into") {
+		p.next()
+		into = p.next()
+	}
+	if err := p.expect("("); err != nil {
+		return Output{}, err
+	}
+
+	// Target list: `v.all`, a projection list `v.a1, v.a2, ...`, or an
+	// aggregate `fn(v.attr)`.
+	var agg *aggSpec
+	var project []rel.Attr
+	var tvar string
+	first := p.next()
+	if fn, ok := aggNames[strings.ToLower(first)]; ok {
+		if err := p.expect("("); err != nil {
+			return Output{}, err
+		}
+		v := p.next()
+		if err := p.expect("."); err != nil {
+			return Output{}, err
+		}
+		attr, ok := rel.AttrByName(p.next())
+		if !ok {
+			return Output{}, fmt.Errorf("quel: unknown attribute in aggregate")
+		}
+		if err := p.expect(")"); err != nil {
+			return Output{}, err
+		}
+		agg = &aggSpec{fn: fn, v: v, attr: attr}
+		tvar = v
+	} else {
+		tvar = first
+		if err := p.expect("."); err != nil {
+			return Output{}, err
+		}
+		name := p.next()
+		if !strings.EqualFold(name, "all") {
+			attr, ok := rel.AttrByName(name)
+			if !ok {
+				return Output{}, fmt.Errorf("quel: unknown attribute %q in target list", name)
+			}
+			project = append(project, attr)
+			for p.peek() == "," {
+				p.next()
+				v := p.next()
+				if v != tvar {
+					return Output{}, fmt.Errorf("quel: target list mixes range variables")
+				}
+				if err := p.expect("."); err != nil {
+					return Output{}, err
+				}
+				attr, ok := rel.AttrByName(p.next())
+				if !ok {
+					return Output{}, fmt.Errorf("quel: unknown attribute in target list")
+				}
+				project = append(project, attr)
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return Output{}, err
+	}
+
+	// Optional `by v.attr` (grouped aggregate).
+	var groupBy *rel.Attr
+	if strings.EqualFold(p.peek(), "by") {
+		p.next()
+		v := p.next()
+		if err := p.expect("."); err != nil {
+			return Output{}, err
+		}
+		attr, ok := rel.AttrByName(p.next())
+		if !ok {
+			return Output{}, fmt.Errorf("quel: unknown grouping attribute")
+		}
+		if v != tvar {
+			return Output{}, fmt.Errorf("quel: grouping variable must match the aggregate's")
+		}
+		groupBy = &attr
+	}
+
+	// Optional qualification.
+	q := newQual()
+	if strings.EqualFold(p.peek(), "where") {
+		p.next()
+		var err error
+		q, err = p.parseQual()
+		if err != nil {
+			return Output{}, err
+		}
+	} else if !p.done() {
+		return Output{}, fmt.Errorf("quel: trailing input %q", p.peek())
+	}
+
+	if agg != nil {
+		return s.runAgg(agg, groupBy, q)
+	}
+	if q.hasJoin {
+		if project != nil {
+			return Output{}, fmt.Errorf("quel: projection on joins is not supported; use .all")
+		}
+		return s.runJoin(tvar, into, q)
+	}
+	return s.runSelect(tvar, into, project, q)
+}
+
+func (s *Session) relOf(v string) (*core.Relation, error) {
+	r, ok := s.ranges[v]
+	if !ok {
+		return nil, fmt.Errorf("quel: unbound range variable %q", v)
+	}
+	return r, nil
+}
+
+func (s *Session) runSelect(v, into string, project []rel.Attr, q *qual) (Output, error) {
+	r, err := s.relOf(v)
+	if err != nil {
+		return Output{}, err
+	}
+	res := s.m.RunSelect(core.SelectQuery{
+		Scan:       core.ScanSpec{Rel: r, Pred: q.pred(v, r.N)},
+		ResultName: into,
+		ToHost:     into == "",
+		Project:    project,
+	})
+	msg := fmt.Sprintf("%d tuples in %.3fs", res.Tuples, res.Elapsed.Seconds())
+	if into != "" {
+		msg += " -> " + res.ResultName
+	}
+	return Output{Message: msg, Result: &res}, nil
+}
+
+func (s *Session) runJoin(tvar, into string, q *qual) (Output, error) {
+	ra, err := s.relOf(q.av)
+	if err != nil {
+		return Output{}, err
+	}
+	rb, err := s.relOf(q.bv)
+	if err != nil {
+		return Output{}, err
+	}
+	// Propagate range restrictions across the join term (§6.1).
+	pa := q.pred(q.av, ra.N)
+	pb := q.pred(q.bv, rb.N)
+	if prop, ok := core.PropagateSelection(q.aattr, q.battr, pb); ok && pa.IsTrue() {
+		pa = prop
+	}
+	if prop, ok := core.PropagateSelection(q.battr, q.aattr, pa); ok && pb.IsTrue() {
+		pb = prop
+	}
+	// Build on the (estimated) smaller input.
+	buildRel, buildPred, buildAttr := rb, pb, q.battr
+	probeRel, probePred, probeAttr := ra, pa, q.aattr
+	if float64(ra.N)*pa.Selectivity(ra.N) < float64(rb.N)*pb.Selectivity(rb.N) {
+		buildRel, buildPred, buildAttr, probeRel, probePred, probeAttr =
+			ra, pa, q.aattr, rb, pb, q.battr
+	}
+	res := s.m.RunJoin(core.JoinQuery{
+		Build: core.ScanSpec{Rel: buildRel, Pred: buildPred}, BuildAttr: buildAttr,
+		Probe: core.ScanSpec{Rel: probeRel, Pred: probePred}, ProbeAttr: probeAttr,
+		Mode:       s.Mode,
+		ResultName: into,
+	})
+	msg := fmt.Sprintf("%d tuples in %.3fs (join, build=%s)", res.Tuples, res.Elapsed.Seconds(), buildRel.Name)
+	if res.Overflows > 0 {
+		msg += fmt.Sprintf(", %d overflow resolutions", res.Overflows)
+	}
+	return Output{Message: msg, Result: &res}, nil
+}
+
+func (s *Session) runAgg(a *aggSpec, groupBy *rel.Attr, q *qual) (Output, error) {
+	r, err := s.relOf(a.v)
+	if err != nil {
+		return Output{}, err
+	}
+	res := s.m.RunAgg(core.AggQuery{
+		Scan:    core.ScanSpec{Rel: r, Pred: q.pred(a.v, r.N)},
+		Fn:      a.fn,
+		Attr:    a.attr,
+		GroupBy: groupBy,
+		Mode:    s.Mode,
+	})
+	var b strings.Builder
+	if groupBy == nil {
+		fmt.Fprintf(&b, "%s(%s) = %d", a.fn, a.attr, res.Groups[0])
+	} else {
+		keys := make([]int32, 0, len(res.Groups))
+		for k := range res.Groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%d: %d\n", *groupBy, k, res.Groups[k])
+		}
+	}
+	fmt.Fprintf(&b, "  (%.3fs)", res.Elapsed.Seconds())
+	return Output{Message: b.String(), Agg: &res}, nil
+}
+
+// execAppend handles `append to <rel> (attr = val, ...)`.
+func (s *Session) execAppend(p *parser) (Output, error) {
+	p.next() // append
+	if err := p.expect("to"); err != nil {
+		return Output{}, err
+	}
+	r, ok := s.m.Relation(p.next())
+	if !ok {
+		return Output{}, fmt.Errorf("quel: unknown relation")
+	}
+	if err := p.expect("("); err != nil {
+		return Output{}, err
+	}
+	var t rel.Tuple
+	for {
+		attr, ok := rel.AttrByName(p.next())
+		if !ok {
+			return Output{}, fmt.Errorf("quel: unknown attribute in append")
+		}
+		if err := p.expect("="); err != nil {
+			return Output{}, err
+		}
+		v, err := parseInt(p.next())
+		if err != nil {
+			return Output{}, err
+		}
+		t.Set(attr, v)
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return Output{}, err
+	}
+	res := s.m.RunUpdate(core.UpdateQuery{Rel: r, Kind: core.AppendTuple, Tuple: t})
+	return Output{Message: fmt.Sprintf("appended %d tuple in %.3fs", res.Tuples, res.Elapsed.Seconds()), Result: &res}, nil
+}
+
+// execDelete handles `delete <var> where <var>.<partattr> = <val>`.
+func (s *Session) execDelete(p *parser) (Output, error) {
+	p.next() // delete
+	v := p.next()
+	r, err := s.relOf(v)
+	if err != nil {
+		return Output{}, err
+	}
+	if err := p.expect("where"); err != nil {
+		return Output{}, err
+	}
+	q, err := p.parseQual()
+	if err != nil {
+		return Output{}, err
+	}
+	key, ok := exactKey(q, v, r.PartAttr)
+	if !ok {
+		return Output{}, fmt.Errorf("quel: delete requires an exact predicate on %s", r.PartAttr)
+	}
+	res := s.m.RunUpdate(core.UpdateQuery{Rel: r, Kind: core.DeleteByKey, Key: key})
+	return Output{Message: fmt.Sprintf("deleted %d tuple in %.3fs", res.Tuples, res.Elapsed.Seconds()), Result: &res}, nil
+}
+
+// execReplace handles `replace <var> (attr = val) where <qual>`.
+func (s *Session) execReplace(p *parser) (Output, error) {
+	p.next() // replace
+	v := p.next()
+	r, err := s.relOf(v)
+	if err != nil {
+		return Output{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return Output{}, err
+	}
+	attr, ok := rel.AttrByName(p.next())
+	if !ok {
+		return Output{}, fmt.Errorf("quel: unknown attribute in replace")
+	}
+	if err := p.expect("="); err != nil {
+		return Output{}, err
+	}
+	newVal, err := parseInt(p.next())
+	if err != nil {
+		return Output{}, err
+	}
+	if err := p.expect(")"); err != nil {
+		return Output{}, err
+	}
+	if err := p.expect("where"); err != nil {
+		return Output{}, err
+	}
+	q, err := p.parseQual()
+	if err != nil {
+		return Output{}, err
+	}
+
+	uq := core.UpdateQuery{Rel: r, Attr: attr, NewValue: newVal}
+	switch {
+	case attr == r.PartAttr:
+		key, ok := exactKey(q, v, r.PartAttr)
+		if !ok {
+			return Output{}, fmt.Errorf("quel: key modification requires an exact predicate on %s", r.PartAttr)
+		}
+		uq.Kind, uq.Key = core.ModifyKeyAttr, key
+	default:
+		if key, ok := exactKey(q, v, attr); ok && indexedNonClustered(r, attr) {
+			// Locate through the attribute's own dense index.
+			uq.Kind, uq.Key = core.ModifyIndexed, key
+		} else if key, ok := exactKey(q, v, r.PartAttr); ok {
+			uq.Kind, uq.Key = core.ModifyNonIndexed, key
+		} else {
+			return Output{}, fmt.Errorf("quel: replace requires an exact predicate on %s or on the modified indexed attribute", r.PartAttr)
+		}
+	}
+	res := s.m.RunUpdate(uq)
+	return Output{Message: fmt.Sprintf("replaced %d tuple in %.3fs (%s)", res.Tuples, res.Elapsed.Seconds(), uq.Kind), Result: &res}, nil
+}
+
+func indexedNonClustered(r *core.Relation, attr rel.Attr) bool {
+	bt, ok := r.Index(attr)
+	return ok && !r.ClusteredOn(attr) && bt != nil
+}
+
+func exactKey(q *qual, v string, attr rel.Attr) (int32, bool) {
+	b, ok := q.bounds[v][attr]
+	if !ok || b[0] != b[1] {
+		return 0, false
+	}
+	return clamp32(b[0]), true
+}
+
+func parseInt(tok string) (int32, error) {
+	var v int64
+	_, err := fmt.Sscanf(tok, "%d", &v)
+	if err != nil {
+		return 0, fmt.Errorf("quel: expected integer, got %q", tok)
+	}
+	return clamp32(v), nil
+}

@@ -1,0 +1,325 @@
+// Package quel implements a small QUEL front end for the Gamma machine —
+// the paper's Gamma speaks "an extended version of the query language QUEL"
+// (§4, [STON76]). Supported statements:
+//
+//	range of t is tenktup
+//	retrieve [into name] (t.all) [where <qual>]
+//	retrieve (count(t.unique1)) [by t.ten] [where <qual>]
+//	retrieve into name (a.all) where a.unique2 = b.unique2 [and <qual>]
+//	append to tenktup (unique1 = 7, unique2 = 12)
+//	delete t where t.unique1 = 55
+//	replace t (ten = 3) where t.unique1 = 55
+//
+// A qualification is a conjunction ("and") of comparisons between an
+// attribute and a constant (=, <, <=, >, >=) or an equijoin term between two
+// range variables' attributes. Range restrictions on one side of a join term
+// are propagated to the other, as Gamma's optimizer does (§6.1).
+package quel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gamma/internal/core"
+	"gamma/internal/rel"
+)
+
+// Session holds range-variable bindings against one machine.
+type Session struct {
+	m      *core.Machine
+	ranges map[string]*core.Relation
+	// Mode is the join placement used for joins and aggregates.
+	Mode core.JoinMode
+}
+
+// NewSession starts a session on m.
+func NewSession(m *core.Machine) *Session {
+	return &Session{m: m, ranges: map[string]*core.Relation{}, Mode: core.Remote}
+}
+
+// Output is the result of executing one statement.
+type Output struct {
+	// Message is a human-readable summary.
+	Message string
+	// Result holds the engine result for retrieve/append/delete/replace.
+	Result *core.Result
+	// Agg holds the result of an aggregate retrieve.
+	Agg *core.AggResult
+}
+
+// Exec parses and runs one statement.
+func (s *Session) Exec(line string) (Output, error) {
+	toks, err := lex(line)
+	if err != nil {
+		return Output{}, err
+	}
+	if len(toks) == 0 {
+		return Output{Message: ""}, nil
+	}
+	p := &parser{toks: toks}
+	switch strings.ToLower(toks[0].text) {
+	case "range":
+		return s.execRange(p)
+	case "retrieve":
+		return s.execRetrieve(p)
+	case "append":
+		return s.execAppend(p)
+	case "delete":
+		return s.execDelete(p)
+	case "replace":
+		return s.execReplace(p)
+	default:
+		return Output{}, fmt.Errorf("quel: unknown statement %q", toks[0].text)
+	}
+}
+
+// --- lexer ---------------------------------------------------------------
+
+type token struct {
+	text string
+	pos  int
+}
+
+func lex(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '=':
+			toks = append(toks, token{string(c), i})
+			i++
+		case c == '<' || c == '>':
+			if i+1 < len(line) && line[i+1] == '=' {
+				toks = append(toks, token{line[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{string(c), i})
+				i++
+			}
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(line) && line[j] >= '0' && line[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{line[i:j], i})
+			i = j
+		case isIdentChar(c):
+			j := i
+			for j < len(line) && isIdentChar(line[j]) {
+				j++
+			}
+			toks = append(toks, token{line[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("quel: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// --- parser --------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() string {
+	if p.i < len(p.toks) {
+		return p.toks[p.i].text
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); !strings.EqualFold(got, want) {
+		return fmt.Errorf("quel: expected %q, got %q", want, got)
+	}
+	return nil
+}
+
+func (p *parser) done() bool { return p.i >= len(p.toks) }
+
+// --- qualifications ------------------------------------------------------
+
+// qual is a parsed conjunction: per-variable range restrictions plus at most
+// one equijoin term.
+type qual struct {
+	// bounds[var][attr] = [lo, hi]
+	bounds map[string]map[rel.Attr][2]int64
+	// join term: av.aattr = bv.battr
+	hasJoin      bool
+	av, bv       string
+	aattr, battr rel.Attr
+}
+
+func newQual() *qual {
+	return &qual{bounds: map[string]map[rel.Attr][2]int64{}}
+}
+
+func (q *qual) restrict(v string, a rel.Attr, lo, hi int64) {
+	m := q.bounds[v]
+	if m == nil {
+		m = map[rel.Attr][2]int64{}
+		q.bounds[v] = m
+	}
+	b, ok := m[a]
+	if !ok {
+		b = [2]int64{-1 << 31, 1<<31 - 1}
+	}
+	if lo > b[0] {
+		b[0] = lo
+	}
+	if hi < b[1] {
+		b[1] = hi
+	}
+	m[a] = b
+}
+
+// pred extracts the single-attribute predicate for a variable (the engine
+// compiles one range predicate per scan; the most selective attribute wins).
+func (q *qual) pred(v string, n int) rel.Pred {
+	m := q.bounds[v]
+	if len(m) == 0 {
+		return rel.True()
+	}
+	best := rel.True()
+	bestSel := 2.0
+	for a, b := range m {
+		pr := rel.Pred{Attr: a, Lo: clamp32(b[0]), Hi: clamp32(b[1])}
+		if sel := pr.Selectivity(n); sel < bestSel {
+			best, bestSel = pr, sel
+		}
+	}
+	return best
+}
+
+func clamp32(v int64) int32 {
+	if v < -1<<31 {
+		v = -1 << 31
+	}
+	if v > 1<<31-1 {
+		v = 1<<31 - 1
+	}
+	return int32(v)
+}
+
+// parseQual parses `<term> [and <term>]...` where a term is
+// `var.attr OP const`, `const OP var.attr`, or `var.attr = var.attr`.
+func (p *parser) parseQual() (*qual, error) {
+	q := newQual()
+	for {
+		if err := p.parseTerm(q); err != nil {
+			return nil, err
+		}
+		if strings.EqualFold(p.peek(), "and") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("quel: trailing input %q", p.peek())
+	}
+	return q, nil
+}
+
+func (p *parser) parseTerm(q *qual) error {
+	lv, lattr, lconst, lIsConst, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	op := p.next()
+	switch op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return fmt.Errorf("quel: expected comparison operator, got %q", op)
+	}
+	rv, rattr, rconst, rIsConst, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	switch {
+	case lIsConst && rIsConst:
+		return fmt.Errorf("quel: constant comparison is not useful")
+	case !lIsConst && !rIsConst:
+		if op != "=" {
+			return fmt.Errorf("quel: only equijoins are supported")
+		}
+		if q.hasJoin {
+			return fmt.Errorf("quel: at most one join term per query")
+		}
+		q.hasJoin = true
+		q.av, q.aattr, q.bv, q.battr = lv, lattr, rv, rattr
+	case lIsConst:
+		// const OP var.attr: flip.
+		q.applyCmp(rv, rattr, flip(op), lconst)
+	default:
+		q.applyCmp(lv, lattr, op, rconst)
+	}
+	return nil
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func (q *qual) applyCmp(v string, a rel.Attr, op string, c int64) {
+	switch op {
+	case "=":
+		q.restrict(v, a, c, c)
+	case "<":
+		q.restrict(v, a, -1<<31, c-1)
+	case "<=":
+		q.restrict(v, a, -1<<31, c)
+	case ">":
+		q.restrict(v, a, c+1, 1<<31-1)
+	case ">=":
+		q.restrict(v, a, c, 1<<31-1)
+	}
+}
+
+// parseOperand parses `var.attr` or an integer constant.
+func (p *parser) parseOperand() (v string, a rel.Attr, c int64, isConst bool, err error) {
+	t := p.next()
+	if t == "" {
+		return "", 0, 0, false, fmt.Errorf("quel: unexpected end of input")
+	}
+	if n, convErr := strconv.ParseInt(t, 10, 64); convErr == nil {
+		return "", 0, n, true, nil
+	}
+	if p.peek() != "." {
+		return "", 0, 0, false, fmt.Errorf("quel: expected var.attr or constant, got %q", t)
+	}
+	p.next()
+	attrName := p.next()
+	attr, ok := rel.AttrByName(attrName)
+	if !ok {
+		return "", 0, 0, false, fmt.Errorf("quel: unknown attribute %q", attrName)
+	}
+	return t, attr, 0, false, nil
+}

@@ -1,0 +1,81 @@
+package sim
+
+// Resource is a non-preemptive FIFO queueing server: requests are served one
+// at a time, in arrival order, each for a caller-specified service time.
+// CPUs, disk drives, network interfaces, and the token ring are all modeled
+// as Resources.
+//
+// Because arrivals are totally ordered by the deterministic event loop, FIFO
+// order is captured by a single "busy until" horizon rather than an explicit
+// queue.
+type Resource struct {
+	sim       *Sim
+	name      string
+	busyUntil Time
+
+	// Statistics.
+	busy     Dur   // total service time delivered
+	requests int64 // number of requests served
+	waited   Dur   // total time requests spent queued before service
+}
+
+// NewResource creates a named FIFO resource on s.
+func (s *Sim) NewResource(name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Use blocks p while the resource queues and then serves a request of
+// duration d. It returns after service completes.
+func (r *Resource) Use(p *Proc, d Dur) {
+	done := r.schedule(d)
+	p.wake(done)
+	p.park()
+}
+
+// UseAsync enqueues a request of duration d without blocking the caller and
+// returns the simulated time at which service will complete. It models work
+// handed to a device that the requesting process does not wait for (e.g. a
+// write-behind disk flush). A completion event is scheduled so the clock
+// always advances past the work even if nobody waits on it.
+func (r *Resource) UseAsync(d Dur) Time {
+	done := r.schedule(d)
+	r.sim.At(done, func() {})
+	return done
+}
+
+// schedule reserves the next service slot and returns its completion time.
+func (r *Resource) schedule(d Dur) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := r.sim.now
+	if r.busyUntil > start {
+		r.waited += r.busyUntil - start
+		start = r.busyUntil
+	}
+	r.busyUntil = start + d
+	r.busy += d
+	r.requests++
+	return r.busyUntil
+}
+
+// BusyUntil returns the time at which all currently queued work completes.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// Stats reports totals: service time delivered, requests served, and
+// cumulative queueing delay.
+func (r *Resource) Stats() (busy Dur, requests int64, waited Dur) {
+	return r.busy, r.requests, r.waited
+}
+
+// Utilization returns the fraction of the interval [0, horizon] the resource
+// spent serving requests.
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(horizon)
+}

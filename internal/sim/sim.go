@@ -1,0 +1,234 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Simulated activities ("processes") are ordinary goroutines, but they run
+// under a strict hand-off discipline: exactly one goroutine — either the
+// kernel event loop or a single process — executes at any moment, so process
+// code needs no locking and every run of a simulation is deterministic.
+// Processes advance the virtual clock only by blocking in kernel primitives
+// (Sleep, Resource.Use, WaitQ.Park); pure computation takes zero simulated
+// time unless it is explicitly charged to a Resource.
+//
+// The kernel is the substrate on which the Gamma and Teradata machine models
+// are built: CPUs, disks, and network interfaces are Resources, and operator
+// processes are Procs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in microseconds since Run started.
+type Time int64
+
+// Dur is a span of simulated time, in microseconds.
+type Dur = Time
+
+// Common durations.
+const (
+	Microsecond Dur = 1
+	Millisecond Dur = 1000
+	Second      Dur = 1000000
+)
+
+// Seconds converts a simulated time span to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a simulated duration.
+func FromSeconds(s float64) Dur { return Dur(s * float64(Second)) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Time, bool) { // only valid when non-empty
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Sim is a discrete-event simulation instance. The zero value is not usable;
+// create one with New.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // process -> kernel: "I have parked or finished"
+	parked  int           // number of live processes currently parked
+	procs   int           // number of live processes
+	failure any           // panic value escaped from a process
+	trace   func(t Time, format string, args ...any)
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// SetTrace installs a trace hook invoked by Proc.Tracef; nil disables tracing.
+func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.trace = fn }
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Dur, fn func()) { s.At(s.now+d, fn) }
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// kernel. All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+}
+
+// Sim returns the simulation the process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Tracef reports a trace event if tracing is enabled on the simulation.
+func (p *Proc) Tracef(format string, args ...any) {
+	if p.sim.trace != nil {
+		p.sim.trace(p.sim.now, "["+p.name+"] "+format, args...)
+	}
+}
+
+// park suspends the process until some event calls wake. It transfers
+// control back to the kernel loop.
+func (p *Proc) park() {
+	p.sim.parked++
+	p.sim.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules the process to resume at time t. It must be called exactly
+// once per park, from kernel context (an event function or another process).
+func (p *Proc) wake(t Time) {
+	s := p.sim
+	s.At(t, func() {
+		s.parked--
+		p.resume <- struct{}{}
+		<-s.yield
+	})
+}
+
+// Sleep advances the process's virtual time by d.
+func (p *Proc) Sleep(d Dur) {
+	p.wake(p.sim.now + d)
+	p.park()
+}
+
+// WaitUntil blocks the process until absolute time t (no-op if t has passed).
+// It is the synchronization half of Resource.UseAsync: issue work early,
+// then wait for its completion time when the result is needed.
+func (p *Proc) WaitUntil(t Time) {
+	if t > p.sim.now {
+		p.Sleep(t - p.sim.now)
+	}
+}
+
+// Spawn starts fn as a new process at the current simulated time.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAt(s.now, name, fn)
+}
+
+// SpawnAt starts fn as a new process at absolute simulated time t.
+func (s *Sim) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procs++
+	go func() {
+		<-p.resume
+		defer func() {
+			s.procs--
+			if r := recover(); r != nil {
+				if s.failure == nil {
+					s.failure = procPanic{name: name, val: r}
+				}
+			}
+			s.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	s.At(t, func() {
+		p.resume <- struct{}{}
+		<-s.yield
+	})
+	return p
+}
+
+type procPanic struct {
+	name string
+	val  any
+}
+
+func (e procPanic) String() string { return fmt.Sprintf("process %q panicked: %v", e.name, e.val) }
+
+// Run executes events until none remain, then returns the final clock value.
+// It panics if a process panicked, or if live processes remain parked with no
+// pending events (a simulated deadlock).
+func (s *Sim) Run() Time {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		if s.failure != nil {
+			panic(s.failure.(procPanic).String())
+		}
+	}
+	if s.parked > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events", s.parked))
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline and advances the clock
+// to deadline. Parked processes may legitimately remain.
+func (s *Sim) RunUntil(deadline Time) Time {
+	for {
+		t, ok := s.events.peek()
+		if !ok || t > deadline {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		if s.failure != nil {
+			panic(s.failure.(procPanic).String())
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}

@@ -1,0 +1,46 @@
+package sim
+
+// WaitQ is a FIFO queue of parked processes, the building block for
+// condition-style blocking (mailboxes, flow-control windows, barriers).
+type WaitQ struct {
+	sim   *Sim
+	name  string
+	procs []*Proc
+}
+
+// NewWaitQ creates a named wait queue on s.
+func (s *Sim) NewWaitQ(name string) *WaitQ {
+	return &WaitQ{sim: s, name: name}
+}
+
+// Park suspends p until another process calls WakeOne or WakeAll.
+func (q *WaitQ) Park(p *Proc) {
+	q.procs = append(q.procs, p)
+	p.park()
+}
+
+// WakeOne resumes the longest-waiting parked process, if any, at the current
+// time. It reports whether a process was woken.
+func (q *WaitQ) WakeOne() bool {
+	if len(q.procs) == 0 {
+		return false
+	}
+	p := q.procs[0]
+	q.procs = q.procs[1:]
+	p.wake(q.sim.now)
+	return true
+}
+
+// WakeAll resumes every parked process at the current time and returns how
+// many were woken.
+func (q *WaitQ) WakeAll() int {
+	n := len(q.procs)
+	for _, p := range q.procs {
+		p.wake(q.sim.now)
+	}
+	q.procs = nil
+	return n
+}
+
+// Len returns the number of parked processes.
+func (q *WaitQ) Len() int { return len(q.procs) }

@@ -1,0 +1,241 @@
+// Package teradata simulates the Teradata DBC/1012 database machine the
+// paper uses as its baseline (§3): 4 Interface Processors and 20 Access
+// Module Processors on a Y-net, with hash files as the only physical
+// organization.
+//
+// The simulator reproduces the four software properties the paper's analysis
+// identifies as decisive:
+//
+//  1. Relations are hash-partitioned on the primary key and stored in
+//     hash-key order; exact-match queries cost one disk access, but there is
+//     no clustered index, so every range selection scans the file.
+//  2. Secondary indices are dense and themselves hashed, so a range query
+//     over an indexed attribute scans the entire index (§5.1's "puzzling"
+//     Table 1 rows).
+//  3. Joins redistribute both relations by hashing the join attribute; each
+//     AMP stores arriving tuples in temporary files in hash-key order
+//     (expensive per tuple) and then sort-merge joins them. Joins on the
+//     primary key skip redistribution (25-50% faster, §6.1).
+//  4. INSERT INTO logs every inserted tuple (at least 3 I/Os each, §4), so
+//     storing a query's result dominates many response times.
+package teradata
+
+import (
+	"gamma/internal/config"
+	"gamma/internal/nose"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wiss"
+)
+
+// hashSeed is the Teradata primary-key hash function.
+const hashSeed uint64 = 0x7e4ada7a
+
+// Machine is one DBC/1012 configuration.
+type Machine struct {
+	Sim     *sim.Sim
+	Prm     *config.Params
+	ampPrm  config.Params // derived parameters for AMP-side storage
+	Net     *nose.Network
+	Host    *nose.Node
+	AMPs    []*nose.Node
+	stores  map[int]*wiss.Store
+	catalog map[string]*Relation
+	// ioSeq spaces out the page numbers of logging/temp-file writes so
+	// the drive model treats them as random accesses.
+	ioSeq int
+	// fallback enables FALLBACK row copies (§4 loaded NO FALLBACK).
+	fallback bool
+}
+
+// ampParams derives the parameter set AMP-side WiSS machinery runs with:
+// the Intel 80286 CPU, the Hitachi drives, and the Teradata page size.
+func ampParams(p *config.Params) config.Params {
+	d := *p
+	d.CPU = config.CPU{MIPS: p.Tera.MIPS}
+	d.PageBytes = p.Tera.PageBytes
+	d.Disk = config.Disk{
+		SeqPos:     p.Tera.SeqPos,
+		RandPos:    p.Tera.RandPos,
+		USPerKB:    p.Tera.USPerKB,
+		TrackBytes: p.Disk.TrackBytes,
+	}
+	d.Net.RingUSPerKB = p.Tera.YNetUSPerKB
+	// The Y-net interfaces are not Unibus-limited; approximate them as
+	// matching the net's aggregate rate.
+	d.Net.NICUSPerKB = p.Tera.YNetUSPerKB
+	return d
+}
+
+// NewMachine builds the paper's test configuration (§3): 20 AMPs, each
+// modeled with one drive standing in for its two 525 MB Hitachi DSUs.
+func NewMachine(s *sim.Sim, prm *config.Params) *Machine {
+	m := &Machine{
+		Sim:     s,
+		Prm:     prm,
+		ampPrm:  ampParams(prm),
+		stores:  make(map[int]*wiss.Store),
+		catalog: make(map[string]*Relation),
+	}
+	m.Net = nose.NewNetwork(s, m.ampPrm.Net, m.ampPrm.CPU)
+	m.Host = m.Net.AddNode(false, m.ampPrm.Disk)
+	for i := 0; i < prm.Tera.AMPs; i++ {
+		nd := m.Net.AddNode(true, m.ampPrm.Disk)
+		m.AMPs = append(m.AMPs, nd)
+		m.stores[nd.ID] = wiss.NewStore(nd, &m.ampPrm)
+	}
+	return m
+}
+
+// Relation is a hash-partitioned Teradata relation.
+type Relation struct {
+	Name    string
+	N       int
+	KeyAttr rel.Attr // the primary (hash) key
+	Frags   []*Fragment
+	// SecondaryOn lists dense secondary index attributes.
+	Secondary map[rel.Attr]bool
+}
+
+// Fragment is one AMP's portion: the base file in hash-key order plus the
+// local rows of any dense secondary index (modeled as entry counts; the
+// index rows are themselves hashed, so only their volume matters — a range
+// query must scan all of them, §3).
+type Fragment struct {
+	Node *nose.Node
+	File *wiss.File
+}
+
+// Load creates a relation hash-partitioned on key across all AMPs. Loading
+// charges no simulated time.
+func (m *Machine) Load(name string, key rel.Attr, secondary []rel.Attr, tuples []rel.Tuple) *Relation {
+	k := len(m.AMPs)
+	parts := make([][]rel.Tuple, k)
+	for _, t := range tuples {
+		j := int(rel.Hash64(t.Get(key), hashSeed) % uint64(k))
+		parts[j] = append(parts[j], t)
+	}
+	r := &Relation{Name: name, N: len(tuples), KeyAttr: key, Secondary: map[rel.Attr]bool{}}
+	for _, a := range secondary {
+		r.Secondary[a] = true
+	}
+	for i, nd := range m.AMPs {
+		st := m.stores[nd.ID]
+		f := st.CreateFile(name)
+		f.LoadDirect(parts[i], nil)
+		r.Frags = append(r.Frags, &Fragment{Node: nd, File: f})
+	}
+	m.catalog[name] = r
+	return r
+}
+
+// Relation returns a catalogued relation.
+func (m *Machine) Relation(name string) (*Relation, bool) {
+	r, ok := m.catalog[name]
+	return r, ok
+}
+
+// ResetPools clears all AMP buffer pools so queries start cold.
+func (m *Machine) ResetPools() {
+	for _, st := range m.stores {
+		st.Pool().Reset()
+	}
+}
+
+// Result is a Teradata query outcome.
+type Result struct {
+	Elapsed sim.Dur
+	Tuples  int
+}
+
+// run executes body as the host process and returns the elapsed time.
+func (m *Machine) run(startup sim.Dur, body func(p *sim.Proc)) sim.Dur {
+	m.ResetPools()
+	start := m.Sim.Now()
+	var elapsed sim.Dur
+	m.Sim.Spawn("tera-host", func(p *sim.Proc) {
+		m.Host.CPU.Use(p, startup)
+		body(p)
+		elapsed = p.Now() - start
+	})
+	m.Sim.Run()
+	if end := m.Sim.Now() - start; end > elapsed {
+		elapsed = end
+	}
+	return elapsed
+}
+
+// fanout runs fn concurrently on every AMP (one process each) and blocks the
+// host until all complete.
+func (m *Machine) fanout(p *sim.Proc, fn func(ap *sim.Proc, amp int)) {
+	done := m.Sim.NewWaitQ("tera-barrier")
+	remaining := len(m.AMPs)
+	for i := range m.AMPs {
+		amp := i
+		m.Sim.Spawn("amp", func(ap *sim.Proc) {
+			fn(ap, amp)
+			remaining--
+			if remaining == 0 {
+				done.WakeAll()
+			}
+		})
+	}
+	if remaining > 0 {
+		done.Park(p)
+	}
+}
+
+// Fallback mirrors Teradata's FALLBACK option: every row is also written to
+// a "fallback" copy on a second AMP. §4 notes the benchmark relations were
+// loaded NO FALLBACK; enabling it roughly doubles insert-side work.
+var fallbackOffset = 7 // fallback copy lands on AMP (primary+7) mod n
+
+// Fallback toggles fallback-copy maintenance for subsequent queries.
+func (m *Machine) SetFallback(on bool) { m.fallback = on }
+
+// insertResult charges the INSERT INTO path for one result tuple arriving at
+// the destination AMP chosen by hashing the result's primary key: Y-net
+// transfer plus the logging I/Os and CPU (§4). The caller is the producing
+// AMP's process; the destination's drive and CPU serialize contention.
+func (m *Machine) insertResult(p *sim.Proc, fromAMP int, t rel.Tuple, out *Relation) {
+	tc := m.Prm.Tera
+	dst := int(rel.Hash64(t.Get(out.KeyAttr), hashSeed) % uint64(len(m.AMPs)))
+	from, to := m.AMPs[fromAMP], m.AMPs[dst]
+	m.Net.TransferBulk(p, from, to, m.Prm.TupleBytes)
+	to.CPU.Use(p, m.ampPrm.CPU.Time(tc.InstrPerInsert))
+	for i := 0; i < tc.InsertIOs; i++ {
+		// Logging and data-block writes land in distinct areas: random.
+		m.ioSeq += 2
+		to.Drive.Write(p, -1-dst, m.ioSeq, m.Prm.TupleBytes)
+	}
+	fr := out.Frags[dst]
+	fr.File.LoadAppend(t)
+	if m.fallback {
+		// FALLBACK: ship and write the row's fallback copy on another
+		// AMP (asynchronously; the primary insert does not wait).
+		fb := (dst + fallbackOffset) % len(m.AMPs)
+		fbNode := m.AMPs[fb]
+		m.Net.TransferBulk(p, to, fbNode, m.Prm.TupleBytes)
+		fbNode.CPU.UseAsync(m.ampPrm.CPU.Time(tc.InstrPerInsert / 2))
+		for i := 0; i < tc.InsertIOs; i++ {
+			m.ioSeq += 2
+			fbNode.Drive.WriteAsync(-300-fb, m.ioSeq, m.Prm.TupleBytes)
+		}
+	}
+}
+
+// tempInsert charges one tuple of join redistribution: Y-net transfer plus
+// the "store in temporary file in hash-key order" cost at the receiver (§6).
+func (m *Machine) tempInsert(p *sim.Proc, fromAMP, toAMP int) {
+	tc := m.Prm.Tera
+	from, to := m.AMPs[fromAMP], m.AMPs[toAMP]
+	m.Net.TransferBulk(p, from, to, m.Prm.TupleBytes)
+	// The receiving AMP's work is not acknowledged per tuple: it queues on
+	// the destination's CPU and drive (the sort phase that follows reads
+	// from the same drive, so unfinished temp writes still delay it).
+	to.CPU.UseAsync(m.ampPrm.CPU.Time(tc.InstrPerTempInsert))
+	for i := 0; i < tc.TempInsertIOs; i++ {
+		m.ioSeq += 2
+		to.Drive.WriteAsync(-100-toAMP, m.ioSeq, m.Prm.TupleBytes)
+	}
+}

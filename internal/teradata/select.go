@@ -1,0 +1,114 @@
+package teradata
+
+import (
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+)
+
+// SelectKind is the physical plan of a Teradata selection.
+type SelectKind int
+
+const (
+	// FileScan reads the entire hash file at every AMP — the only option
+	// for range predicates on unindexed attributes (§3).
+	FileScan SelectKind = iota
+	// IndexScan scans the ENTIRE dense secondary index (its rows are
+	// hashed, not sorted, §3) and fetches each qualifying tuple's data
+	// block with a random access.
+	IndexScan
+	// HashAccess is a single-tuple exact-match on the primary key: one
+	// disk access at one AMP.
+	HashAccess
+)
+
+// RunSelect executes a selection and stores its result via INSERT INTO
+// (with per-tuple logging) unless toHost is set.
+func (m *Machine) RunSelect(r *Relation, pred rel.Pred, kind SelectKind, toHost bool) Result {
+	tc := m.Prm.Tera
+	var out *Relation
+	if !toHost {
+		out = &Relation{Name: "result", KeyAttr: rel.Unique1, Secondary: map[rel.Attr]bool{}}
+		for _, nd := range m.AMPs {
+			st := m.stores[nd.ID]
+			out.Frags = append(out.Frags, &Fragment{Node: nd, File: st.CreateFile("result")})
+		}
+	}
+	total := 0
+	elapsed := m.run(tc.HostStartup, func(p *sim.Proc) {
+		if kind == HashAccess {
+			amp := int(rel.Hash64(pred.Lo, hashSeed) % uint64(len(m.AMPs)))
+			nd := m.AMPs[amp]
+			fr := r.Frags[amp]
+			// One hash access locates the block (§3).
+			nd.UseCPU(p, tc.InstrPerTupleScan)
+			m.ioSeq += 2
+			nd.Drive.Read(p, fr.File.ID, m.ioSeq, m.ampPrm.PageBytes)
+			for pg := 0; pg < fr.File.Pages(); pg++ {
+				for s, t := range fr.File.PageTuples(pg) {
+					if fr.File.Page(pg).Live(s) && pred.Match(t) {
+						total++
+					}
+				}
+			}
+			m.Net.TransferBulk(p, nd, m.Host, m.Prm.TupleBytes)
+			return
+		}
+		counts := make([]int, len(m.AMPs))
+		m.fanout(p, func(ap *sim.Proc, amp int) {
+			fr := r.Frags[amp]
+			nd := m.AMPs[amp]
+			n := 0
+			emit := func(t rel.Tuple) {
+				n++
+				if out != nil {
+					m.insertResult(ap, amp, t, out)
+				}
+			}
+			switch kind {
+			case FileScan:
+				sc := fr.File.NewScanner()
+				for pg := sc.NextPage(ap); pg != nil; pg = sc.NextPage(ap) {
+					nd.UseCPU(ap, tc.InstrPerTupleScan*len(pg.Tuples))
+					for s, t := range pg.Tuples {
+						if pg.Live(s) && pred.Match(t) {
+							emit(t)
+						}
+					}
+				}
+			case IndexScan:
+				if !r.Secondary[pred.Attr] {
+					panic("teradata: IndexScan without a secondary index on " + pred.Attr.String())
+				}
+				// The whole index is scanned: same number of
+				// comparisons as a file scan, fewer sequential
+				// I/Os (§5.1).
+				entries := fr.File.Len()
+				idxPages := entries*m.Prm.IndexEntryBytes/m.ampPrm.PageBytes + 1
+				for i := 0; i < idxPages; i++ {
+					nd.Drive.Read(ap, -200-amp, i, m.ampPrm.PageBytes)
+				}
+				nd.UseCPU(ap, tc.InstrPerTupleScan*entries)
+				for pg := 0; pg < fr.File.Pages(); pg++ {
+					page := fr.File.Page(pg)
+					for s, t := range fr.File.PageTuples(pg) {
+						if page.Live(s) && pred.Match(t) {
+							// Each qualifying tuple: one random data-block access.
+							m.ioSeq += 2
+							nd.Drive.Read(ap, fr.File.ID, m.ioSeq, m.ampPrm.PageBytes)
+							emit(t)
+						}
+					}
+				}
+			}
+			counts[amp] = n
+		})
+		for _, c := range counts {
+			total += c
+		}
+	})
+	if out != nil {
+		m.catalog[out.Name] = out
+		out.N = total
+	}
+	return Result{Elapsed: elapsed, Tuples: total}
+}

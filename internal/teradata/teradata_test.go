@@ -1,0 +1,189 @@
+package teradata
+
+import (
+	"testing"
+
+	"gamma/internal/config"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wisconsin"
+)
+
+func newTera(t *testing.T, n int) (*Machine, *Relation) {
+	t.Helper()
+	s := sim.New()
+	prm := config.Default()
+	m := NewMachine(s, &prm)
+	r := m.Load("A", rel.Unique1, []rel.Attr{rel.Unique2}, wisconsin.Generate(n, 1))
+	return m, r
+}
+
+func TestLoadHashPartitions(t *testing.T) {
+	m, r := newTera(t, 2000)
+	if len(r.Frags) != 20 {
+		t.Fatalf("fragments = %d, want 20 AMPs", len(r.Frags))
+	}
+	total := 0
+	for _, fr := range r.Frags {
+		total += fr.File.Len()
+	}
+	if total != 2000 {
+		t.Errorf("total = %d", total)
+	}
+	_ = m
+}
+
+func TestFileScanSelection(t *testing.T) {
+	m, r := newTera(t, 2000)
+	res := m.RunSelect(r, rel.Between(rel.Unique2, 0, 19), FileScan, false)
+	if res.Tuples != 20 {
+		t.Errorf("tuples = %d, want 20", res.Tuples)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("zero elapsed")
+	}
+	out, _ := m.Relation("result")
+	if out.N != 20 {
+		t.Errorf("stored %d", out.N)
+	}
+}
+
+func TestIndexScanNoFasterThanFileScan(t *testing.T) {
+	// §5.1: hashed dense index rows force a full index scan plus random
+	// fetches, so a 1% indexed selection costs about as much as a scan.
+	m, r := newTera(t, 5000)
+	idx := m.RunSelect(r, rel.Between(rel.Unique2, 0, 49), IndexScan, false)
+	m2, r2 := newTera(t, 5000)
+	scan := m2.RunSelect(r2, rel.Between(rel.Unique2, 0, 49), FileScan, false)
+	_ = m
+	ratio := idx.Elapsed.Seconds() / scan.Elapsed.Seconds()
+	if ratio < 0.5 || ratio > 1.6 {
+		t.Errorf("index/scan ratio = %.2f; Table 1 shows they are nearly equal", ratio)
+	}
+	if idx.Tuples != scan.Tuples {
+		t.Errorf("tuples differ: %d vs %d", idx.Tuples, scan.Tuples)
+	}
+}
+
+func TestHashAccessSingleTuple(t *testing.T) {
+	m, r := newTera(t, 2000)
+	res := m.RunSelect(r, rel.Eq(rel.Unique1, 777), HashAccess, true)
+	if res.Tuples != 1 {
+		t.Errorf("tuples = %d", res.Tuples)
+	}
+	if res.Elapsed.Seconds() > 2.0 {
+		t.Errorf("single-tuple select took %.2fs; Table 1 shows ~1.08s", res.Elapsed.Seconds())
+	}
+}
+
+func TestJoinCorrectness(t *testing.T) {
+	m, a := newTera(t, 2000)
+	bp := wisconsin.Generate(200, 7)
+	b := m.Load("Bprime", rel.Unique1, nil, bp)
+	// Non-key join on unique2: every Bprime tuple matches exactly one A.
+	res := m.RunJoin(JoinQuery{
+		R1: a, Pred1: rel.True(), Attr1: rel.Unique2,
+		R2: b, Pred2: rel.True(), Attr2: rel.Unique2,
+	})
+	if res.Tuples != 200 {
+		t.Errorf("join returned %d tuples, want 200", res.Tuples)
+	}
+}
+
+func TestKeyJoinSkipsRedistribution(t *testing.T) {
+	m, a := newTera(t, 4000)
+	b := m.Load("Bprime", rel.Unique1, nil, wisconsin.Generate(400, 7))
+	key := m.RunJoin(JoinQuery{
+		R1: a, Pred1: rel.True(), Attr1: rel.Unique1,
+		R2: b, Pred2: rel.True(), Attr2: rel.Unique1,
+	})
+	m2, a2 := newTera(t, 4000)
+	b2 := m2.Load("Bprime", rel.Unique1, nil, wisconsin.Generate(400, 7))
+	nonkey := m2.RunJoin(JoinQuery{
+		R1: a2, Pred1: rel.True(), Attr1: rel.Unique2,
+		R2: b2, Pred2: rel.True(), Attr2: rel.Unique2,
+	})
+	if key.Tuples != nonkey.Tuples {
+		t.Errorf("cardinality differs: %d vs %d", key.Tuples, nonkey.Tuples)
+	}
+	if key.Elapsed >= nonkey.Elapsed {
+		t.Errorf("key join (%v) should beat non-key join (%v) — §6.1's 25-50%%", key.Elapsed, nonkey.Elapsed)
+	}
+}
+
+func TestTwoStageJoin(t *testing.T) {
+	m, a := newTera(t, 2000)
+	b := m.Load("B", rel.Unique1, nil, wisconsin.Generate(2000, 21))
+	c := m.Load("C", rel.Unique1, nil, wisconsin.Generate(200, 22))
+	sel := rel.Between(rel.Unique2, 0, 199)
+	res := m.RunJoin(JoinQuery{
+		R1: a, Pred1: sel, Attr1: rel.Unique2,
+		R2: b, Pred2: sel, Attr2: rel.Unique2,
+		R3: c, Pred3: rel.True(), Attr3: rel.Unique1, AttrI: rel.Unique2,
+	})
+	if res.Tuples != 200 {
+		t.Errorf("two-stage join returned %d, want 200 (|C|)", res.Tuples)
+	}
+}
+
+func TestFallbackCostsMore(t *testing.T) {
+	// §4: the benchmark relations were loaded NO FALLBACK; with FALLBACK
+	// every inserted row is duplicated on a second AMP.
+	run := func(fb bool) Result {
+		m, r := newTera(t, 3000)
+		m.SetFallback(fb)
+		return m.RunSelect(r, rel.Between(rel.Unique2, 0, 299), FileScan, false)
+	}
+	off := run(false)
+	on := run(true)
+	if on.Tuples != off.Tuples {
+		t.Fatalf("fallback changed results: %d vs %d", on.Tuples, off.Tuples)
+	}
+	if on.Elapsed <= off.Elapsed {
+		t.Errorf("FALLBACK (%v) should cost more than NO FALLBACK (%v)", on.Elapsed, off.Elapsed)
+	}
+}
+
+func TestInsertLoggingDominatesLargeResults(t *testing.T) {
+	// The Table 1 phenomenon: the 10% selection costs far more than 10x
+	// the I/O difference because every stored tuple pays ~3 logged I/Os.
+	m, r := newTera(t, 5000)
+	one := m.RunSelect(r, rel.Between(rel.Unique2, 0, 49), FileScan, false)
+	ten := m.RunSelect(r, rel.Between(rel.Unique2, 0, 499), FileScan, false)
+	perTuple := (ten.Elapsed - one.Elapsed).Seconds() / 450
+	if perTuple < 0.005 {
+		t.Errorf("insert path costs %.4fs/tuple; should dominate (§4)", perTuple)
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	m, r := newTera(t, 2000)
+	var tp rel.Tuple
+	tp.Set(rel.Unique1, 9999)
+	tp.Set(rel.Unique2, 9999)
+	app := m.RunUpdate(UpdateQuery{Rel: r, Kind: AppendTuple, Tuple: tp})
+	if app.Tuples != 1 || r.N != 2001 {
+		t.Errorf("append: changed=%d N=%d", app.Tuples, r.N)
+	}
+	del := m.RunUpdate(UpdateQuery{Rel: r, Kind: DeleteByKey, Key: 9999})
+	if del.Tuples != 1 || r.N != 2000 {
+		t.Errorf("delete: changed=%d N=%d", del.Tuples, r.N)
+	}
+	modNon := m.RunUpdate(UpdateQuery{Rel: r, Kind: ModifyNonIndexed, Key: 5, Attr: rel.OddOnePercent, NewValue: 3})
+	if modNon.Tuples != 1 {
+		t.Errorf("modify-nonindexed: changed=%d", modNon.Tuples)
+	}
+	modIdx := m.RunUpdate(UpdateQuery{Rel: r, Kind: ModifyIndexed, Key: 10, Attr: rel.Unique2, NewValue: 8888})
+	if modIdx.Tuples != 1 {
+		t.Errorf("modify-indexed: changed=%d", modIdx.Tuples)
+	}
+	modKey := m.RunUpdate(UpdateQuery{Rel: r, Kind: ModifyKeyAttr, Key: 6, Attr: rel.Unique1, NewValue: 7500})
+	if modKey.Tuples != 1 {
+		t.Errorf("modify-key: changed=%d", modKey.Tuples)
+	}
+	// Table 3 ordering: modifying the key (relocation + index updates) is
+	// the most expensive Teradata update.
+	if modKey.Elapsed <= modNon.Elapsed {
+		t.Errorf("modify-key (%v) should exceed modify-nonindexed (%v)", modKey.Elapsed, modNon.Elapsed)
+	}
+}

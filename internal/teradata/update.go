@@ -1,0 +1,171 @@
+package teradata
+
+import (
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wiss"
+)
+
+// UpdateKind mirrors the Table 3 single-tuple update workload.
+type UpdateKind int
+
+const (
+	AppendTuple UpdateKind = iota
+	DeleteByKey
+	ModifyKeyAttr
+	ModifyNonIndexed
+	ModifyIndexed
+)
+
+// UpdateQuery is one single-tuple update against the Teradata machine.
+type UpdateQuery struct {
+	Rel      *Relation
+	Kind     UpdateKind
+	Tuple    rel.Tuple
+	Key      int32
+	Attr     rel.Attr
+	NewValue int32
+}
+
+// RunUpdate executes a single-tuple update with full concurrency control and
+// recovery (§7): every mutated row is logged (InsertIOs), hash access
+// locates rows by primary key in one I/O, and secondary-index maintenance
+// adds hashed index-row updates.
+func (m *Machine) RunUpdate(q UpdateQuery) Result {
+	tc := m.Prm.Tera
+	changed := 0
+	startup := tc.UpdateStartup
+	if q.Kind == ModifyKeyAttr {
+		// Relocating a row between AMPs is a cross-AMP transaction and
+		// takes the full host/IFP coordination path (Table 3 row 4 is
+		// the most expensive Teradata update by far).
+		startup = tc.HostStartup
+	}
+	elapsed := m.run(startup, func(p *sim.Proc) {
+		switch q.Kind {
+		case AppendTuple:
+			amp := m.ampFor(q.Tuple.Get(q.Rel.KeyAttr))
+			m.logWrite(p, amp, tc.InsertIOs)
+			q.Rel.Frags[amp].File.LoadAppend(q.Tuple)
+			q.Rel.N++
+			changed = 1
+			for range q.Rel.Secondary {
+				m.indexRowUpdate(p, amp)
+			}
+
+		case DeleteByKey:
+			amp := m.ampFor(q.Key)
+			if rid, t, ok := m.hashLocate(p, amp, q.Rel, q.Key); ok {
+				m.logWrite(p, amp, tc.InsertIOs-1)
+				q.Rel.Frags[amp].File.DeleteRID(p, rid)
+				q.Rel.N--
+				changed = 1
+				for a := range q.Rel.Secondary {
+					_ = a
+					m.indexRowUpdate(p, amp)
+				}
+				_ = t
+			}
+
+		case ModifyKeyAttr:
+			// The row moves to the AMP its new key hashes to, and
+			// every secondary index row must be rewritten (§7 row 4,
+			// the most expensive case).
+			oldAmp := m.ampFor(q.Key)
+			newAmp := m.ampFor(q.NewValue)
+			if rid, t, ok := m.hashLocate(p, oldAmp, q.Rel, q.Key); ok {
+				m.logWrite(p, oldAmp, tc.InsertIOs)
+				q.Rel.Frags[oldAmp].File.DeleteRID(p, rid)
+				t.Set(q.Rel.KeyAttr, q.NewValue)
+				m.Net.TransferBulk(p, m.AMPs[oldAmp], m.AMPs[newAmp], m.Prm.TupleBytes)
+				m.logWrite(p, newAmp, tc.InsertIOs)
+				q.Rel.Frags[newAmp].File.LoadAppend(t)
+				changed = 1
+				for range q.Rel.Secondary {
+					m.indexRowUpdate(p, oldAmp)
+					m.indexRowUpdate(p, newAmp)
+				}
+			}
+
+		case ModifyNonIndexed:
+			amp := m.ampFor(q.Key)
+			if rid, t, ok := m.hashLocate(p, amp, q.Rel, q.Key); ok {
+				t.Set(q.Attr, q.NewValue)
+				q.Rel.Frags[amp].File.UpdateRID(p, rid, t)
+				m.logWrite(p, amp, 1)
+				changed = 1
+			}
+
+		case ModifyIndexed:
+			// The hashed secondary index locates the row in one index
+			// access (exact match on the indexed value), then the row
+			// and its index row are both rewritten.
+			if !q.Rel.Secondary[q.Attr] {
+				panic("teradata: ModifyIndexed without index")
+			}
+			for amp, fr := range q.Rel.Frags {
+				nd := m.AMPs[amp]
+				m.ioSeq += 2
+				nd.Drive.Read(p, -200-amp, m.ioSeq, m.ampPrm.PageBytes)
+				for pg := 0; pg < fr.File.Pages() && changed == 0; pg++ {
+					page := fr.File.Page(pg)
+					for s, t := range fr.File.PageTuples(pg) {
+						if page.Live(s) && t.Get(q.Attr) == q.Key {
+							t.Set(q.Attr, q.NewValue)
+							fr.File.UpdateRID(p, wiss.RID{Page: int32(pg), Slot: int32(s)}, t)
+							m.logWrite(p, amp, 1)
+							m.indexRowUpdate(p, amp)
+							changed = 1
+							break
+						}
+					}
+				}
+				if changed > 0 {
+					break
+				}
+			}
+		}
+	})
+	return Result{Elapsed: elapsed, Tuples: changed}
+}
+
+func (m *Machine) ampFor(key int32) int {
+	return int(rel.Hash64(key, hashSeed) % uint64(len(m.AMPs)))
+}
+
+// hashLocate finds the row with the given primary key: one hash access (§3).
+func (m *Machine) hashLocate(p *sim.Proc, amp int, r *Relation, key int32) (wiss.RID, rel.Tuple, bool) {
+	nd := m.AMPs[amp]
+	fr := r.Frags[amp]
+	nd.UseCPU(p, m.Prm.Tera.InstrPerTupleScan)
+	m.ioSeq += 2
+	nd.Drive.Read(p, fr.File.ID, m.ioSeq, m.ampPrm.PageBytes)
+	for pg := 0; pg < fr.File.Pages(); pg++ {
+		page := fr.File.Page(pg)
+		for s, t := range fr.File.PageTuples(pg) {
+			if page.Live(s) && t.Get(r.KeyAttr) == key {
+				return wiss.RID{Page: int32(pg), Slot: int32(s)}, t, true
+			}
+		}
+	}
+	return wiss.RID{}, rel.Tuple{}, false
+}
+
+// logWrite charges n logging I/Os at an AMP.
+func (m *Machine) logWrite(p *sim.Proc, amp int, n int) {
+	nd := m.AMPs[amp]
+	nd.UseCPU(p, m.Prm.Tera.InstrPerInsert/2)
+	for i := 0; i < n; i++ {
+		m.ioSeq += 2
+		nd.Drive.Write(p, -1-amp, m.ioSeq, m.Prm.TupleBytes)
+	}
+}
+
+// indexRowUpdate charges one hashed secondary-index row rewrite.
+func (m *Machine) indexRowUpdate(p *sim.Proc, amp int) {
+	nd := m.AMPs[amp]
+	m.ioSeq += 2
+	nd.Drive.Read(p, -200-amp, m.ioSeq, m.ampPrm.PageBytes)
+	m.ioSeq += 2
+	nd.Drive.Write(p, -200-amp, m.ioSeq, m.ampPrm.PageBytes)
+}

@@ -1,0 +1,138 @@
+package wisconsin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gamma/internal/rel"
+)
+
+func TestPermIsBijective(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 1000, 4096} {
+		p := NewPerm(n, 42)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := p.At(i)
+			if v < 0 || v >= n {
+				t.Fatalf("n=%d: At(%d) = %d out of range", n, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: value %d produced twice", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermBijectiveProperty(t *testing.T) {
+	f := func(n uint16, seed uint64) bool {
+		m := int(n%500) + 1
+		p := NewPerm(m, seed)
+		seen := make(map[int]bool, m)
+		for i := 0; i < m; i++ {
+			v := p.At(i)
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermDeterministic(t *testing.T) {
+	a, b := NewPerm(1000, 7), NewPerm(1000, 7)
+	for i := 0; i < 1000; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("perm not deterministic at %d", i)
+		}
+	}
+	c := NewPerm(1000, 8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.At(i) == c.At(i) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different seeds agree on %d/1000 positions", same)
+	}
+}
+
+func TestUniqueAttributesAreUniqueAndUncorrelated(t *testing.T) {
+	const n = 10000
+	ts := Generate(n, 1)
+	seen1 := make([]bool, n)
+	seen2 := make([]bool, n)
+	equal := 0
+	for _, tp := range ts {
+		u1, u2 := int(tp.Get(rel.Unique1)), int(tp.Get(rel.Unique2))
+		if seen1[u1] || seen2[u2] {
+			t.Fatal("duplicate unique attribute value")
+		}
+		seen1[u1], seen2[u2] = true, true
+		if u1 == u2 {
+			equal++
+		}
+	}
+	// Under independence, E[matches] = 1; allow generous slack.
+	if equal > 20 {
+		t.Errorf("unique1 == unique2 in %d tuples; attributes look correlated", equal)
+	}
+}
+
+func TestDerivedAttributes(t *testing.T) {
+	ts := Generate(1000, 3)
+	for _, tp := range ts {
+		u1 := tp.Get(rel.Unique1)
+		checks := []struct {
+			attr rel.Attr
+			want int32
+		}{
+			{rel.Two, u1 % 2},
+			{rel.Four, u1 % 4},
+			{rel.Ten, u1 % 10},
+			{rel.Twenty, u1 % 20},
+			{rel.OnePercent, u1 % 100},
+			{rel.TenPercent, u1 % 10},
+			{rel.TwentyPercent, u1 % 5},
+			{rel.FiftyPercent, u1 % 2},
+			{rel.Unique3, u1},
+			{rel.EvenOnePercent, (u1 % 100) * 2},
+			{rel.OddOnePercent, (u1%100)*2 + 1},
+		}
+		for _, c := range checks {
+			if got := tp.Get(c.attr); got != c.want {
+				t.Fatalf("%v = %d, want %d (unique1=%d)", c.attr, got, c.want, u1)
+			}
+		}
+	}
+}
+
+func TestTupleMatchesGenerate(t *testing.T) {
+	const n = 500
+	ts := Generate(n, 9)
+	for _, i := range []int{0, 1, 250, 499} {
+		if Tuple(i, n, 9) != ts[i] {
+			t.Errorf("Tuple(%d) != Generate[%d]", i, i)
+		}
+	}
+}
+
+func TestSelectivityOfRangePredicates(t *testing.T) {
+	const n = 10000
+	ts := Generate(n, 5)
+	pred := rel.Between(rel.Unique2, 0, n/100-1) // 1% selection
+	matched := 0
+	for _, tp := range ts {
+		if pred.Match(tp) {
+			matched++
+		}
+	}
+	if matched != n/100 {
+		t.Errorf("1%% predicate matched %d tuples, want %d", matched, n/100)
+	}
+}

@@ -1,0 +1,95 @@
+package wiss
+
+// BufferPool is a per-node LRU page cache. Because tuple data lives in host
+// memory either way, the pool tracks only residency: Get reports whether a
+// page access is a hit (no simulated I/O) or a miss.
+type BufferPool struct {
+	frames int
+	lru    []poolKey // front = least recently used
+	index  map[poolKey]int
+
+	hits, misses int64
+}
+
+type poolKey struct {
+	file int
+	page int
+}
+
+// NewBufferPool creates a pool with the given number of page frames.
+func NewBufferPool(frames int) *BufferPool {
+	if frames < 1 {
+		frames = 1
+	}
+	return &BufferPool{frames: frames, index: make(map[poolKey]int)}
+}
+
+// Get reports whether (file, page) is resident, updating recency and
+// hit/miss counters.
+func (bp *BufferPool) Get(file, page int) bool {
+	k := poolKey{file, page}
+	if _, ok := bp.index[k]; ok {
+		bp.touch(k)
+		bp.hits++
+		return true
+	}
+	bp.misses++
+	return false
+}
+
+// Put makes (file, page) resident, evicting the LRU page if the pool is full.
+func (bp *BufferPool) Put(file, page int) {
+	k := poolKey{file, page}
+	if _, ok := bp.index[k]; ok {
+		bp.touch(k)
+		return
+	}
+	if len(bp.lru) >= bp.frames {
+		evict := bp.lru[0]
+		bp.lru = bp.lru[1:]
+		delete(bp.index, evict)
+		bp.reindex()
+	}
+	bp.lru = append(bp.lru, k)
+	bp.index[k] = len(bp.lru) - 1
+}
+
+// touch moves k to the MRU end.
+func (bp *BufferPool) touch(k poolKey) {
+	i := bp.index[k]
+	bp.lru = append(append(bp.lru[:i:i], bp.lru[i+1:]...), k)
+	bp.reindex()
+}
+
+func (bp *BufferPool) reindex() {
+	for i, k := range bp.lru {
+		bp.index[k] = i
+	}
+}
+
+// InvalidateFile drops every resident page of the file (file deletion).
+func (bp *BufferPool) InvalidateFile(file int) {
+	keep := bp.lru[:0]
+	for _, k := range bp.lru {
+		if k.file == file {
+			delete(bp.index, k)
+		} else {
+			keep = append(keep, k)
+		}
+	}
+	bp.lru = keep
+	bp.reindex()
+}
+
+// Reset empties the pool (used between benchmark queries so every query
+// starts cold, matching the paper's single-user methodology).
+func (bp *BufferPool) Reset() {
+	bp.lru = nil
+	bp.index = make(map[poolKey]int)
+}
+
+// Stats returns cumulative hit/miss counts.
+func (bp *BufferPool) Stats() (hits, misses int64) { return bp.hits, bp.misses }
+
+// Len returns the number of resident pages.
+func (bp *BufferPool) Len() int { return len(bp.lru) }

@@ -1,0 +1,148 @@
+package wiss
+
+import (
+	"testing"
+
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wisconsin"
+)
+
+func TestScannerOverlapsIOAndCPU(t *testing.T) {
+	// With one page of read-ahead, a scan whose per-page CPU work is
+	// smaller than a page I/O must finish in ~disk time, not disk+CPU.
+	s, st, prm := testStore(t)
+	f := st.CreateFile("r")
+	f.LoadDirect(wisconsin.Generate(2000, 41), nil)
+	perPageCPU := prm.Disk.SeqPos / 2
+	var elapsed sim.Dur
+	s.Spawn("scan", func(p *sim.Proc) {
+		start := p.Now()
+		sc := f.NewScanner()
+		for pg := sc.NextPage(p); pg != nil; pg = sc.NextPage(p) {
+			st.Node().CPU.Use(p, perPageCPU)
+		}
+		elapsed = p.Now() - start
+	})
+	s.Run()
+	pages := sim.Dur(f.Pages())
+	diskOnly := pages * (prm.Disk.SeqPos + prm.Disk.TransferTime(prm.PageBytes))
+	serial := diskOnly + pages*perPageCPU
+	if elapsed >= serial {
+		t.Errorf("scan %v did not overlap CPU with I/O (serial bound %v)", elapsed, serial)
+	}
+	if elapsed < diskOnly {
+		t.Errorf("scan %v beat the disk-only bound %v", elapsed, diskOnly)
+	}
+}
+
+func TestLoadAppendBookkeeping(t *testing.T) {
+	_, st, prm := testStore(t)
+	f := st.CreateFile("r")
+	for i := 0; i < 40; i++ {
+		var tp rel.Tuple
+		tp.Set(rel.Unique1, int32(i))
+		f.LoadAppend(tp)
+	}
+	if f.Len() != 40 {
+		t.Errorf("len = %d", f.Len())
+	}
+	want := (40 + prm.TuplesPerPage() - 1) / prm.TuplesPerPage()
+	if f.Pages() != want {
+		t.Errorf("pages = %d, want %d", f.Pages(), want)
+	}
+}
+
+func TestInsertIntoPageRespectsCapacity(t *testing.T) {
+	s, st, prm := testStore(t)
+	f := st.CreateFile("r")
+	f.LoadDirect(wisconsin.Generate(prm.TuplesPerPage(), 42), nil) // page 0 exactly full
+	s.Spawn("ins", func(p *sim.Proc) {
+		var tp rel.Tuple
+		if _, ok := f.InsertIntoPage(p, 0, tp); ok {
+			t.Error("insert into a full page succeeded")
+		}
+		rid := f.AppendNewPage(p, tp)
+		if rid.Page != 1 || rid.Slot != 0 {
+			t.Errorf("overflow rid = %+v", rid)
+		}
+	})
+	s.Run()
+}
+
+func TestAppendNewPageMarksSortedFileUnordered(t *testing.T) {
+	s, st, _ := testStore(t)
+	f := st.CreateFile("r")
+	key := rel.Unique1
+	f.LoadDirect(wisconsin.Generate(100, 43), &key)
+	if f.Unordered {
+		t.Fatal("fresh sorted file marked unordered")
+	}
+	s.Spawn("ins", func(p *sim.Proc) {
+		var tp rel.Tuple
+		tp.Set(rel.Unique1, 5)
+		f.AppendNewPage(p, tp)
+	})
+	s.Run()
+	if !f.Unordered {
+		t.Error("overflow page did not mark the file unordered")
+	}
+}
+
+func TestTombstonesExcludedFromLiveTuples(t *testing.T) {
+	s, st, _ := testStore(t)
+	f := st.CreateFile("r")
+	f.LoadDirect(wisconsin.Generate(30, 44), nil)
+	s.Spawn("del", func(p *sim.Proc) {
+		f.DeleteRID(p, RID{Page: 0, Slot: 2})
+		f.DeleteRID(p, RID{Page: 0, Slot: 2}) // double delete is a no-op
+	})
+	s.Run()
+	if f.Len() != 29 {
+		t.Errorf("len = %d, want 29", f.Len())
+	}
+	live := f.Page(0).LiveTuples(nil)
+	if len(live) != len(f.PageTuples(0))-1 {
+		t.Errorf("live = %d of %d", len(live), len(f.PageTuples(0)))
+	}
+}
+
+func TestBufferPoolByteBudgetScalesWithPageSize(t *testing.T) {
+	small := testParams()
+	small.PageBytes = 4096
+	big := testParams()
+	big.PageBytes = 32768
+	sSmall := storeOn(sim.New(), &small)
+	sBig := storeOn(sim.New(), &big)
+	// Fill both pools beyond any plausible frame count.
+	for i := 0; i < 1000; i++ {
+		sSmall.Pool().Put(1, i)
+		sBig.Pool().Put(1, i)
+	}
+	if sSmall.Pool().Len() <= sBig.Pool().Len() {
+		t.Errorf("4KB pool (%d frames) should hold more pages than 32KB pool (%d)",
+			sSmall.Pool().Len(), sBig.Pool().Len())
+	}
+}
+
+func TestClusteredIndexAfterOverflowInsertStillFindsEverything(t *testing.T) {
+	s, st, _ := testStore(t)
+	f := st.CreateFile("r")
+	key := rel.Unique1
+	f.LoadDirect(wisconsin.Generate(500, 45), &key)
+	bt := NewBTree(f, rel.Unique1, Clustered)
+	s.Spawn("ins", func(p *sim.Proc) {
+		// Force an overflow page and register it in the index.
+		var tp rel.Tuple
+		tp.Set(rel.Unique1, 250)
+		rid := f.AppendNewPage(p, tp)
+		bt.InsertClusteredEntry(p, 250, rid.Page)
+	})
+	s.Run()
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 501 {
+		t.Errorf("len = %d", f.Len())
+	}
+}

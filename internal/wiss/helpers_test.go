@@ -1,0 +1,17 @@
+package wiss
+
+import (
+	"gamma/internal/config"
+	"gamma/internal/nose"
+	"gamma/internal/sim"
+)
+
+// testParams returns a fresh default parameter set for tests.
+func testParams() config.Params { return config.Default() }
+
+// storeOn creates a one-node network and returns a store on its disk node.
+func storeOn(s *sim.Sim, prm *config.Params) *Store {
+	net := nose.NewNetwork(s, prm.Net, prm.CPU)
+	node := net.AddNode(true, prm.Disk)
+	return NewStore(node, prm)
+}

@@ -1,0 +1,96 @@
+package wiss
+
+import (
+	"testing"
+
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wisconsin"
+)
+
+var testCosts = SortCosts{InstrPerTupleRun: 400, InstrPerTupleMerge: 200}
+
+func TestSortFileProducesSortedOutput(t *testing.T) {
+	s, st, prm := testStore(t)
+	f := st.CreateFile("r")
+	f.LoadDirect(wisconsin.Generate(5000, 21), nil)
+	var out *File
+	s.Spawn("sort", func(p *sim.Proc) {
+		out = SortFile(p, f, rel.Unique2, 16*prm.PageBytes, testCosts)
+	})
+	s.Run()
+	if out.Len() != 5000 {
+		t.Fatalf("sorted file has %d tuples, want 5000", out.Len())
+	}
+	last := int32(-1)
+	for i := 0; i < out.Pages(); i++ {
+		for _, tp := range out.page(i).Tuples {
+			k := tp.Get(rel.Unique2)
+			if k < last {
+				t.Fatalf("output not sorted: %d after %d", k, last)
+			}
+			last = k
+		}
+	}
+	if !out.Sorted || out.SortKey != rel.Unique2 {
+		t.Error("output not marked sorted")
+	}
+}
+
+func TestSortNeedsMultipleRunsWhenMemorySmall(t *testing.T) {
+	s, st, prm := testStore(t)
+	f := st.CreateFile("r")
+	f.LoadDirect(wisconsin.Generate(2000, 22), nil)
+	var small, large sim.Dur
+	s.Spawn("sort", func(p *sim.Proc) {
+		start := p.Now()
+		SortFile(p, f, rel.Unique1, 2*prm.PageBytes, testCosts) // tiny memory
+		small = p.Now() - start
+		start = p.Now()
+		SortFile(p, f, rel.Unique1, 1024*prm.PageBytes, testCosts) // plentiful
+		large = p.Now() - start
+	})
+	s.Run()
+	if small <= large {
+		t.Errorf("small-memory sort (%v) should cost more than large-memory sort (%v)", small, large)
+	}
+}
+
+func TestSortEmptyFile(t *testing.T) {
+	s, st, prm := testStore(t)
+	f := st.CreateFile("empty")
+	var out *File
+	s.Spawn("sort", func(p *sim.Proc) {
+		out = SortFile(p, f, rel.Unique1, 8*prm.PageBytes, testCosts)
+	})
+	s.Run()
+	if out.Len() != 0 {
+		t.Errorf("len = %d", out.Len())
+	}
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	s, st, prm := testStore(t)
+	f := st.CreateFile("r")
+	ts := wisconsin.Generate(3000, 23)
+	f.LoadDirect(ts, nil)
+	var out *File
+	s.Spawn("sort", func(p *sim.Proc) {
+		out = SortFile(p, f, rel.Ten, 4*prm.PageBytes, testCosts)
+	})
+	s.Run()
+	counts := map[rel.Tuple]int{}
+	for _, tp := range ts {
+		counts[tp]++
+	}
+	for i := 0; i < out.Pages(); i++ {
+		for _, tp := range out.page(i).Tuples {
+			counts[tp]--
+		}
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("sorted output is not a permutation of the input")
+		}
+	}
+}
