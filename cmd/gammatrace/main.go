@@ -1,15 +1,17 @@
 // Command gammatrace runs one query on a simulated Gamma machine and prints
-// a per-resource utilization report — the tool for seeing which resource
-// (disk, CPU, or network interface) bound a query, the diagnostic axis of
-// §5.2 and §6.2.
+// a per-resource utilization report plus a bottleneck verdict — the tool for
+// seeing which resource (disk, CPU, or network interface) bound a query, the
+// diagnostic axis of §5.2 and §6.2.
 //
 // Usage:
 //
 //	gammatrace [-disk 8] [-diskless 8] [-tuples 100000] [-pagesize 4096]
-//	           [-query select|join] [-sel 10] [-mode remote] [-trace]
+//	           [-query select|join] [-sel 10] [-mode remote]
+//	           [-out trace.jsonl] [-trace]
 //
-// -sel is the selection percentage; -trace additionally dumps the raw
-// simulation event trace (very verbose).
+// -sel is the selection percentage; -out exports the structured event stream
+// as JSONL; -trace additionally dumps the raw printf simulation trace (very
+// verbose).
 package main
 
 import (
@@ -24,26 +26,54 @@ import (
 	"gamma/internal/wisconsin"
 )
 
-func main() {
-	nDisk := flag.Int("disk", 8, "processors with disks")
-	nDiskless := flag.Int("diskless", 8, "diskless processors")
-	tuples := flag.Int("tuples", 100000, "relation cardinality")
-	pageSize := flag.Int("pagesize", 4096, "disk page size in bytes")
-	query := flag.String("query", "select", "select | join")
-	selPct := flag.Float64("sel", 10, "selection percentage")
-	mode := flag.String("mode", "remote", "join mode: local | remote | all")
-	trace := flag.Bool("trace", false, "dump the raw simulation trace")
-	flag.Parse()
+// parseMode resolves a -mode flag value, rejecting unknown strings (instead
+// of silently falling through to the zero JoinMode).
+func parseMode(s string) (core.JoinMode, error) {
+	switch s {
+	case "local":
+		return core.Local, nil
+	case "remote":
+		return core.Remote, nil
+	case "all", "allnodes":
+		return core.AllNodes, nil
+	default:
+		return 0, fmt.Errorf("unknown join mode %q (want local, remote, or all)", s)
+	}
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("gammatrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nDisk := fs.Int("disk", 8, "processors with disks")
+	nDiskless := fs.Int("diskless", 8, "diskless processors")
+	tuples := fs.Int("tuples", 100000, "relation cardinality")
+	pageSize := fs.Int("pagesize", 4096, "disk page size in bytes")
+	query := fs.String("query", "select", "select | join")
+	selPct := fs.Float64("sel", 10, "selection percentage")
+	mode := fs.String("mode", "remote", "join mode: local | remote | all")
+	out := fs.String("out", "", "write the structured event stream as JSONL to this file")
+	rawTrace := fs.Bool("trace", false, "dump the raw simulation trace")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	jm, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintf(stderr, "gammatrace: %v\n", err)
+		fs.Usage()
+		return 2
+	}
 
 	prm := config.Default()
 	prm.PageBytes = *pageSize
 	s := sim.New()
-	if *trace {
+	if *rawTrace {
 		s.SetTrace(func(at sim.Time, format string, args ...any) {
-			fmt.Printf("%12s  %s\n", at, fmt.Sprintf(format, args...))
+			fmt.Fprintf(stdout, "%12s  %s\n", at, fmt.Sprintf(format, args...))
 		})
 	}
 	m := core.NewMachine(s, &prm, *nDisk, *nDiskless)
+	col := m.EnableTrace()
 	u1 := rel.Unique1
 	r := m.Load(core.LoadSpec{
 		Name: "A", Strategy: core.Hashed, PartAttr: rel.Unique1,
@@ -52,25 +82,59 @@ func main() {
 
 	pred := rel.Between(rel.Unique2, 0, int32(float64(*tuples)**selPct/100)-1)
 	snap := m.Snapshot()
+	var res core.Result
 	switch *query {
 	case "select":
-		res := m.RunSelect(core.SelectQuery{Scan: core.ScanSpec{Rel: r, Pred: pred, Path: core.PathHeap}})
-		fmt.Printf("select %.0f%%: %d tuples in %.3fs simulated; %d packets, %d short-circuited\n\n",
+		res = m.RunSelect(core.SelectQuery{Scan: core.ScanSpec{Rel: r, Pred: pred, Path: core.PathHeap}})
+		fmt.Fprintf(stdout, "select %.0f%%: %d tuples in %.3fs simulated; %d packets, %d short-circuited\n\n",
 			*selPct, res.Tuples, res.Elapsed.Seconds(), res.DataPackets, res.LocalMsgs)
 	case "join":
-		jm := map[string]core.JoinMode{"local": core.Local, "remote": core.Remote, "all": core.AllNodes}[*mode]
 		b := m.Load(core.LoadSpec{Name: "Bprime", Strategy: core.Hashed, PartAttr: rel.Unique1},
 			wisconsin.Generate(*tuples/10, 7))
-		res := m.RunJoin(core.JoinQuery{
+		res = m.RunJoin(core.JoinQuery{
 			Build: core.ScanSpec{Rel: b, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
 			Probe: core.ScanSpec{Rel: r, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique2,
 			Mode: jm,
 		})
-		fmt.Printf("joinABprime (%s): %d tuples in %.3fs simulated; overflow resolutions: %d\n\n",
+		fmt.Fprintf(stdout, "joinABprime (%s): %d tuples in %.3fs simulated; overflow resolutions: %d\n\n",
 			*mode, res.Tuples, res.Elapsed.Seconds(), res.Overflows)
 	default:
-		fmt.Fprintf(os.Stderr, "gammatrace: unknown query %q\n", *query)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "gammatrace: unknown query %q (want select or join)\n", *query)
+		return 2
 	}
-	m.WriteUtilization(os.Stdout, snap)
+	m.WriteUtilization(stdout, snap)
+
+	if res.Diag != nil {
+		fmt.Fprintf(stdout, "\nverdict: %s\n", res.Diag)
+	}
+	if phases := col.MergedPhases(); len(phases) > 0 {
+		fmt.Fprintf(stdout, "\nphases:\n")
+		for _, ph := range phases {
+			v := col.DiagnoseSpan(ph)
+			fmt.Fprintf(stdout, "  %-16s %9.3fs  %s\n", ph.ID, float64(ph.Dur())/1e6, v)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "gammatrace: %v\n", err)
+			return 1
+		}
+		if err := col.WriteJSONL(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "gammatrace: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "gammatrace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nwrote %d events to %s\n", col.Len(), *out)
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gamma/internal/core"
+)
+
+func TestParseMode(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    core.JoinMode
+		wantErr bool
+	}{
+		{in: "local", want: core.Local},
+		{in: "remote", want: core.Remote},
+		{in: "all", want: core.AllNodes},
+		{in: "allnodes", want: core.AllNodes},
+		{in: "", wantErr: true},
+		{in: "Remote", wantErr: true},
+		{in: "everywhere", wantErr: true},
+		// The old lookup-table bug: an unknown mode silently became the
+		// zero JoinMode (Remote). It must be rejected instead.
+		{in: "bogus", wantErr: true},
+	}
+	for _, tc := range tests {
+		got, err := parseMode(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseMode(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMode(%q): unexpected error %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if code := run([]string{"-query", "join", "-mode", "bogus"}, null, null); code != 2 {
+		t.Errorf("run with -mode bogus: exit code %d, want 2", code)
+	}
+	if code := run([]string{"-query", "nope"}, null, null); code != 2 {
+		t.Errorf("run with -query nope: exit code %d, want 2", code)
+	}
+}
+
+func TestRunSelectWritesJSONL(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	if code := run([]string{"-disk", "2", "-diskless", "0", "-tuples", "2000", "-out", out}, null, null); code != 0 {
+		t.Fatalf("run: exit code %d, want 0", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("JSONL export is empty")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"gamma/internal/rel"
 	"gamma/internal/sim"
 	"gamma/internal/teradata"
+	"gamma/internal/trace"
 	"gamma/internal/wisconsin"
 )
 
@@ -69,6 +70,14 @@ type (
 	Attr = rel.Attr
 	// Teradata is the DBC/1012 baseline machine.
 	Teradata = teradata.Machine
+	// TraceCollector accumulates the structured event stream of a traced
+	// machine (Machine.EnableTrace) into a queryable timeline.
+	TraceCollector = trace.Collector
+	// TraceEvent is one typed record of the stream.
+	TraceEvent = trace.Event
+	// Verdict is the bottleneck classifier's output: which resource class
+	// (disk, CPU, NIC, ring) bound a window of the simulation.
+	Verdict = trace.Verdict
 )
 
 // Declustering strategies (§2).

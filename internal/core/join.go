@@ -7,6 +7,7 @@ import (
 	"gamma/internal/nose"
 	"gamma/internal/rel"
 	"gamma/internal/sim"
+	"gamma/internal/trace"
 	"gamma/internal/wiss"
 )
 
@@ -149,9 +150,14 @@ type joinSpec struct {
 func spawnJoin(spec joinSpec) {
 	m := spec.m
 	m.Sim.Spawn(fmt.Sprintf("%s@%d", spec.opID, spec.node.ID), func(p *sim.Proc) {
+		phase := func(kind trace.Kind, label string, n int) {
+			m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: kind, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: label, N: n})
+		}
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: "join"})
 		jt := newJoinTable(spec)
 
 		// Main build phase.
+		phase(trace.KindPhaseStart, "build", 0)
 		jt.beginPhase(0)
 		recvStream(p, spec.port, streamBuild, spec.nBuild, func(ts []rel.Tuple) {
 			spec.node.UseCPU(p, m.Prm.Engine.InstrPerTupleBuild*len(ts))
@@ -163,10 +169,13 @@ func spawnJoin(spec joinSpec) {
 		if spec.makeFilter && !jt.phaseOverflowed {
 			filter = jt.buildFilter(spec.filterBits)
 		}
+		phase(trace.KindPhaseDone, "build", 0)
 		nose.SendCtl(p, spec.node, spec.sched, builtMsg{op: spec.opID, site: spec.site, overflowed: jt.phaseOverflowed, filter: filter})
 
 		// Main probe phase.
+		phase(trace.KindPhaseStart, "probe", 0)
 		jt.runProbePhase(p, streamProbe, spec.nProbe)
+		phase(trace.KindPhaseDone, "probe", jt.produced)
 
 		// Overflow rounds.
 		for {
@@ -177,8 +186,11 @@ func spawnJoin(spec joinSpec) {
 			}
 			switch jc.kind {
 			case ctlFinish:
+				m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: spec.opID, Node: spec.node.ID, Site: spec.site})
 				return
 			case ctlRoundBuild:
+				label := fmt.Sprintf("ovfbuild-%d", jc.level)
+				phase(trace.KindPhaseStart, label, 0)
 				jt.beginPhase(jc.level)
 				recvStream(p, spec.port, roundStream(jc.level, false), spec.nSites, func(ts []rel.Tuple) {
 					spec.node.UseCPU(p, m.Prm.Engine.InstrPerTupleBuild*len(ts))
@@ -186,9 +198,13 @@ func spawnJoin(spec joinSpec) {
 						jt.insert(p, t)
 					}
 				})
+				phase(trace.KindPhaseDone, label, 0)
 				nose.SendCtl(p, spec.node, spec.sched, builtMsg{op: spec.opID, site: spec.site, overflowed: jt.phaseOverflowed})
 			case ctlRoundProbe:
+				label := fmt.Sprintf("ovfprobe-%d", jc.level)
+				phase(trace.KindPhaseStart, label, 0)
 				jt.runProbePhase(p, roundStream(jc.level, true), spec.nSites)
+				phase(trace.KindPhaseDone, label, jt.produced)
 			default:
 				panic("join: unexpected control kind")
 			}

@@ -18,6 +18,7 @@ import (
 	"gamma/internal/nose"
 	"gamma/internal/rel"
 	"gamma/internal/sim"
+	"gamma/internal/trace"
 	"gamma/internal/wiss"
 )
 
@@ -69,7 +70,11 @@ type Machine struct {
 	stores   map[int]*wiss.Store
 	catalog  map[string]*Relation
 	nextRes  int
+	nextQID  int
 	rec      *Recovery
+
+	// Trace is the structured event collector, non-nil after EnableTrace.
+	Trace *trace.Collector
 }
 
 // NewMachine builds a machine with nDisk disk processors and nDiskless
@@ -99,6 +104,20 @@ func NewMachine(s *sim.Sim, prm *config.Params, nDisk, nDiskless int) *Machine {
 		m.Diskless = append(m.Diskless, nd)
 	}
 	return m
+}
+
+// EnableTrace installs a structured event collector on the machine's
+// simulation and returns it. Every subsequent query emits the typed event
+// stream (resource intervals, disk ops, packets, operator and query spans)
+// into the collector, and each Result carries a bottleneck Verdict.
+// Tracing changes no simulated behavior: events are recorded synchronously
+// at the instants the simulation already passes through.
+func (m *Machine) EnableTrace() *trace.Collector {
+	if m.Trace == nil {
+		m.Trace = trace.NewCollector()
+		m.Sim.SetSink(m.Trace)
+	}
+	return m.Trace
 }
 
 // StoreOf returns the WiSS instance of a disk node (nil for diskless nodes).

@@ -7,6 +7,7 @@ import (
 	"gamma/internal/nose"
 	"gamma/internal/rel"
 	"gamma/internal/sim"
+	"gamma/internal/trace"
 )
 
 // SelectQuery selects tuples from one relation and stores the result in a
@@ -64,6 +65,11 @@ type Result struct {
 	DataPackets int64
 	LocalMsgs   int64
 	CtlMsgs     int64
+	// Query is the trace span id ("q1", "q2", ...) assigned at launch.
+	Query string
+	// Diag is the bottleneck classification of the query's span, non-nil
+	// when the machine has tracing enabled (Machine.EnableTrace).
+	Diag *trace.Verdict
 }
 
 // initOp charges the scheduler the §6.2.3 cost of initiating one operator on
@@ -204,6 +210,9 @@ func (ib *inbox) waitStores(n int) []storeDone {
 // one idle scheduler process per query, §2).
 func (m *Machine) launchQuery(res *Result, body func(p *sim.Proc, ib *inbox, schedPort *nose.Port)) {
 	start := m.Sim.Now()
+	m.nextQID++
+	res.Query = fmt.Sprintf("q%d", m.nextQID)
+	m.Sim.Emit(trace.Event{At: int64(start), Kind: trace.KindQueryStart, Query: res.Query})
 	schedPort := m.Sched.NewPort("sched")
 	hostPort := m.Host.NewPort("host")
 	m.Sim.Spawn("scheduler", func(p *sim.Proc) {
@@ -217,7 +226,18 @@ func (m *Machine) launchQuery(res *Result, body func(p *sim.Proc, ib *inbox, sch
 		nose.SendCtl(p, m.Host, schedPort, "query")
 		hostPort.Recv(p)
 		res.Elapsed = p.Now() - start
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindQueryDone, Query: res.Query})
 	})
+}
+
+// diagnose fills res.Diag from the collected trace, if tracing is enabled.
+func (m *Machine) diagnose(res *Result) {
+	if m.Trace == nil {
+		return
+	}
+	if v, ok := m.Trace.DiagnoseQuery(res.Query); ok {
+		res.Diag = &v
+	}
 }
 
 // runQuery launches one query and runs the simulation to completion.
@@ -230,6 +250,7 @@ func (m *Machine) runQuery(res *Result, body func(p *sim.Proc, ib *inbox, schedP
 	res.DataPackets = net1.DataPackets - net0.DataPackets
 	res.LocalMsgs = net1.LocalMsgs - net0.LocalMsgs
 	res.CtlMsgs = net1.CtlMsgs - net0.CtlMsgs
+	m.diagnose(res)
 }
 
 // setupStores creates the result relation (unless toHost), initiates one
@@ -588,5 +609,8 @@ func (m *Machine) RunConcurrent(qs []ConcurrentQuery) []Result {
 		}
 	}
 	m.Sim.Run()
+	for i := range results {
+		m.diagnose(&results[i])
+	}
 	return results
 }

@@ -6,6 +6,7 @@ import (
 	"gamma/internal/nose"
 	"gamma/internal/rel"
 	"gamma/internal/sim"
+	"gamma/internal/trace"
 	"gamma/internal/wiss"
 )
 
@@ -71,6 +72,7 @@ type doneMsg struct {
 // round-robin counters are per-operator, as in Gamma).
 func spawnSelect(m *Machine, opID string, site int, frag *Fragment, pred rel.Pred, path AccessPath, mkOut func() selectOutput, sched *nose.Port) {
 	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: frag.Node.ID, Site: site, Class: path.String()})
 		out := mkOut()
 		split := newSplitTable(frag.Node, m.Prm, out.stream, out.ports, out.route)
 		if out.filters != nil {
@@ -90,6 +92,7 @@ func spawnSelect(m *Machine, opID string, site int, frag *Fragment, pred rel.Pre
 			panic("core: unresolved access path " + path.String())
 		}
 		split.close(p)
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: frag.Node.ID, Site: site, N: n})
 		nose.SendCtl(p, frag.Node, sched, doneMsg{op: opID, site: site, produced: n})
 	})
 }
@@ -181,6 +184,7 @@ func nonClusteredSelect(p *sim.Proc, m *Machine, frag *Fragment, pred rel.Pred, 
 // the redistribution step of join-overflow resolution (§6.2.2).
 func spawnSpoolScan(m *Machine, opID string, site int, file *wiss.File, owner, reader *nose.Node, mkOut func() selectOutput, sched *nose.Port) {
 	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, reader.ID), func(p *sim.Proc) {
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: reader.ID, Site: site, Class: "spool-scan"})
 		out := mkOut()
 		split := newSplitTable(reader, m.Prm, out.stream, out.ports, out.route)
 		n := 0
@@ -197,6 +201,7 @@ func spawnSpoolScan(m *Machine, opID string, site int, file *wiss.File, owner, r
 			}
 		}
 		split.close(p)
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: reader.ID, Site: site, N: n})
 		nose.SendCtl(p, reader, sched, doneMsg{op: opID, site: site, produced: n})
 	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"gamma/internal/nose"
 	"gamma/internal/sim"
+	"gamma/internal/trace"
 )
 
 // storeClose tells a store operator how many end-of-stream messages to
@@ -27,6 +28,7 @@ type storeDone struct {
 // responsibility for writing the result tuples to disk").
 func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port, sched *nose.Port) {
 	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: frag.Node.ID, Site: site, Class: "store"})
 		eng := m.Prm.Engine
 		ap := frag.File.NewAppender()
 		eos := 0
@@ -50,6 +52,7 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 		}
 		n := ap.Close(p)
 		m.logForce(p, frag.Node)
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: frag.Node.ID, Site: site, N: n})
 		nose.SendCtl(p, frag.Node, sched, storeDone{site: site, stored: n})
 	})
 }
@@ -60,6 +63,7 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 // the same close protocol as a store operator.
 func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sched *nose.Port, sink func(n int)) {
 	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, node.ID), func(p *sim.Proc) {
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: node.ID, Site: 0, Class: "collect"})
 		eng := m.Prm.Engine
 		eos := 0
 		expect := -1
@@ -81,6 +85,7 @@ func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sch
 		if sink != nil {
 			sink(total)
 		}
+		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: node.ID, Site: 0, N: total})
 		nose.SendCtl(p, node, sched, storeDone{site: 0, stored: total})
 	})
 }

@@ -13,6 +13,7 @@ package disk
 import (
 	"gamma/internal/config"
 	"gamma/internal/sim"
+	"gamma/internal/trace"
 )
 
 // Stats counts drive activity.
@@ -33,8 +34,10 @@ func (s Stats) Writes() int64 { return s.SeqWrites + s.RandWrites }
 
 // Drive is one simulated disk drive.
 type Drive struct {
-	res *sim.Resource
-	cfg config.Disk
+	sim  *sim.Sim
+	name string
+	res  *sim.Resource
+	cfg  config.Disk
 
 	haveLast bool
 	lastFile int
@@ -45,7 +48,7 @@ type Drive struct {
 
 // New creates a drive on s with the given cost model.
 func New(s *sim.Sim, name string, cfg config.Disk) *Drive {
-	return &Drive{res: s.NewResource(name), cfg: cfg}
+	return &Drive{sim: s, name: name, res: s.NewResource(name), cfg: cfg}
 }
 
 // Stats returns a copy of the drive's counters.
@@ -78,6 +81,21 @@ func (d *Drive) serviceTime(file, page, bytes int, write bool) sim.Dur {
 			d.stats.RandReads++
 		}
 		d.stats.BytesRead += int64(bytes)
+	}
+	if d.sim.Tracing() {
+		class := "rand-"
+		if sequential {
+			class = "seq-"
+		}
+		if write {
+			class += "write"
+		} else {
+			class += "read"
+		}
+		d.sim.Emit(trace.Event{
+			At: int64(d.sim.Now()), Kind: trace.KindDiskOp, Res: d.name,
+			Class: class, Bytes: bytes, File: file, Page: page,
+		})
 	}
 	return pos + d.cfg.TransferTime(bytes)
 }

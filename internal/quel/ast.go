@@ -1,0 +1,186 @@
+package quel
+
+// Statement ASTs for the QUEL front end. Parse (quel.go) is purely
+// syntactic — it resolves attribute names and validates term shapes but
+// touches no catalog or session state — so every Stmt can be printed with
+// String and re-parsed. The printed form is canonical: parsing it and
+// printing again yields the identical string, a fixed point the fuzz
+// harness (fuzz_test.go) locks in.
+
+import (
+	"strconv"
+	"strings"
+
+	"gamma/internal/core"
+	"gamma/internal/rel"
+)
+
+// Stmt is one parsed QUEL statement.
+type Stmt interface {
+	// String renders the statement in canonical form: lowercase keywords,
+	// single spaces, names and constants as parsed.
+	String() string
+	stmt()
+}
+
+func (*RangeStmt) stmt()    {}
+func (*RetrieveStmt) stmt() {}
+func (*AppendStmt) stmt()   {}
+func (*DeleteStmt) stmt()   {}
+func (*ReplaceStmt) stmt()  {}
+
+// Operand is one side of a comparison: an integer constant or var.attr.
+type Operand struct {
+	Var     string
+	Attr    rel.Attr
+	Const   int64
+	IsConst bool
+}
+
+func (o Operand) String() string {
+	if o.IsConst {
+		return strconv.FormatInt(o.Const, 10)
+	}
+	return o.Var + "." + o.Attr.String()
+}
+
+// Term is one comparison of a qualification's conjunction.
+type Term struct {
+	Left  Operand
+	Op    string // =, <, <=, >, >=
+	Right Operand
+}
+
+func (t Term) String() string {
+	return t.Left.String() + " " + t.Op + " " + t.Right.String()
+}
+
+// whereString renders ` where a and b and ...`, or "" for an empty list.
+func whereString(terms []Term) string {
+	if len(terms) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" where ")
+	for i, t := range terms {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// RangeStmt is `range of <var> is <relation>`.
+type RangeStmt struct {
+	Var string
+	Rel string
+}
+
+func (s *RangeStmt) String() string {
+	return "range of " + s.Var + " is " + s.Rel
+}
+
+// AggTarget is an aggregate target list entry: fn(var.attr).
+type AggTarget struct {
+	Fn   core.AggFn
+	Var  string
+	Attr rel.Attr
+}
+
+func (a AggTarget) String() string {
+	return a.Fn.String() + "(" + a.Var + "." + a.Attr.String() + ")"
+}
+
+// RetrieveStmt is `retrieve [into name] (<target>) [by var.attr] [where ...]`
+// where the target is `var.all`, a projection list, or an aggregate.
+type RetrieveStmt struct {
+	Into    string // "" when absent
+	Var     string // the target list's range variable
+	Agg     *AggTarget
+	All     bool // target is var.all
+	Project []rel.Attr
+	GroupBy *rel.Attr // grouping attribute of Var
+	Where   []Term
+}
+
+func (s *RetrieveStmt) String() string {
+	var b strings.Builder
+	b.WriteString("retrieve")
+	if s.Into != "" {
+		b.WriteString(" into ")
+		b.WriteString(s.Into)
+	}
+	b.WriteString(" (")
+	switch {
+	case s.Agg != nil:
+		b.WriteString(s.Agg.String())
+	case s.All:
+		b.WriteString(s.Var + ".all")
+	default:
+		for i, a := range s.Project {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.Var + "." + a.String())
+		}
+	}
+	b.WriteString(")")
+	if s.GroupBy != nil {
+		b.WriteString(" by " + s.Var + "." + s.GroupBy.String())
+	}
+	b.WriteString(whereString(s.Where))
+	return b.String()
+}
+
+// SetClause is one `attr = value` assignment in append or replace.
+type SetClause struct {
+	Attr rel.Attr
+	Val  int64
+}
+
+func (c SetClause) String() string {
+	return c.Attr.String() + " = " + strconv.FormatInt(c.Val, 10)
+}
+
+// AppendStmt is `append to <relation> (attr = val, ...)`.
+type AppendStmt struct {
+	Rel  string
+	Sets []SetClause
+}
+
+func (s *AppendStmt) String() string {
+	var b strings.Builder
+	b.WriteString("append to ")
+	b.WriteString(s.Rel)
+	b.WriteString(" (")
+	for i, c := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// DeleteStmt is `delete <var> where <qual>`.
+type DeleteStmt struct {
+	Var   string
+	Where []Term
+}
+
+func (s *DeleteStmt) String() string {
+	return "delete " + s.Var + whereString(s.Where)
+}
+
+// ReplaceStmt is `replace <var> (attr = val) where <qual>`.
+type ReplaceStmt struct {
+	Var   string
+	Set   SetClause
+	Where []Term
+}
+
+func (s *ReplaceStmt) String() string {
+	return "replace " + s.Var + " (" + s.Set.String() + ")" + whereString(s.Where)
+}

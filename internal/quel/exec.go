@@ -9,148 +9,81 @@ import (
 	"gamma/internal/rel"
 )
 
-// execRange handles `range of <var> is <relation>`.
-func (s *Session) execRange(p *parser) (Output, error) {
-	p.next() // range
-	if err := p.expect("of"); err != nil {
+// Session holds range-variable bindings against one machine.
+type Session struct {
+	m      *core.Machine
+	ranges map[string]*core.Relation
+	// Mode is the join placement used for joins and aggregates.
+	Mode core.JoinMode
+}
+
+// NewSession starts a session on m.
+func NewSession(m *core.Machine) *Session {
+	return &Session{m: m, ranges: map[string]*core.Relation{}, Mode: core.Remote}
+}
+
+// Output is the result of executing one statement.
+type Output struct {
+	// Message is a human-readable summary.
+	Message string
+	// Result holds the engine result for retrieve/append/delete/replace.
+	Result *core.Result
+	// Agg holds the result of an aggregate retrieve.
+	Agg *core.AggResult
+}
+
+// Exec parses and runs one statement.
+func (s *Session) Exec(line string) (Output, error) {
+	st, err := Parse(line)
+	if err != nil {
 		return Output{}, err
 	}
-	v := p.next()
-	if err := p.expect("is"); err != nil {
-		return Output{}, err
+	if st == nil {
+		return Output{Message: ""}, nil
 	}
-	relName := p.next()
-	r, ok := s.m.Relation(relName)
+	return s.Run(st)
+}
+
+// Run executes a parsed statement against the session's machine.
+func (s *Session) Run(st Stmt) (Output, error) {
+	switch st := st.(type) {
+	case *RangeStmt:
+		return s.runRange(st)
+	case *RetrieveStmt:
+		return s.runRetrieve(st)
+	case *AppendStmt:
+		return s.runAppend(st)
+	case *DeleteStmt:
+		return s.runDelete(st)
+	case *ReplaceStmt:
+		return s.runReplace(st)
+	}
+	return Output{}, fmt.Errorf("quel: unsupported statement %T", st)
+}
+
+// runRange binds a range variable to a catalogued relation.
+func (s *Session) runRange(st *RangeStmt) (Output, error) {
+	r, ok := s.m.Relation(st.Rel)
 	if !ok {
-		return Output{}, fmt.Errorf("quel: unknown relation %q", relName)
+		return Output{}, fmt.Errorf("quel: unknown relation %q", st.Rel)
 	}
-	if !p.done() {
-		return Output{}, fmt.Errorf("quel: trailing input after range statement")
-	}
-	s.ranges[v] = r
-	return Output{Message: fmt.Sprintf("range variable %s bound to %s (%d tuples)", v, relName, r.N)}, nil
+	s.ranges[st.Var] = r
+	return Output{Message: fmt.Sprintf("range variable %s bound to %s (%d tuples)", st.Var, st.Rel, r.N)}, nil
 }
 
-// aggSpec is a parsed aggregate target: fn(var.attr).
-type aggSpec struct {
-	fn   core.AggFn
-	v    string
-	attr rel.Attr
-}
-
-var aggNames = map[string]core.AggFn{
-	"count": core.Count, "sum": core.Sum, "min": core.Min, "max": core.Max, "avg": core.Avg,
-}
-
-// execRetrieve handles plain, into, join, and aggregate retrieves.
-func (s *Session) execRetrieve(p *parser) (Output, error) {
-	p.next() // retrieve
-	into := ""
-	if strings.EqualFold(p.peek(), "into") {
-		p.next()
-		into = p.next()
-	}
-	if err := p.expect("("); err != nil {
-		return Output{}, err
-	}
-
-	// Target list: `v.all`, a projection list `v.a1, v.a2, ...`, or an
-	// aggregate `fn(v.attr)`.
-	var agg *aggSpec
-	var project []rel.Attr
-	var tvar string
-	first := p.next()
-	if fn, ok := aggNames[strings.ToLower(first)]; ok {
-		if err := p.expect("("); err != nil {
-			return Output{}, err
-		}
-		v := p.next()
-		if err := p.expect("."); err != nil {
-			return Output{}, err
-		}
-		attr, ok := rel.AttrByName(p.next())
-		if !ok {
-			return Output{}, fmt.Errorf("quel: unknown attribute in aggregate")
-		}
-		if err := p.expect(")"); err != nil {
-			return Output{}, err
-		}
-		agg = &aggSpec{fn: fn, v: v, attr: attr}
-		tvar = v
-	} else {
-		tvar = first
-		if err := p.expect("."); err != nil {
-			return Output{}, err
-		}
-		name := p.next()
-		if !strings.EqualFold(name, "all") {
-			attr, ok := rel.AttrByName(name)
-			if !ok {
-				return Output{}, fmt.Errorf("quel: unknown attribute %q in target list", name)
-			}
-			project = append(project, attr)
-			for p.peek() == "," {
-				p.next()
-				v := p.next()
-				if v != tvar {
-					return Output{}, fmt.Errorf("quel: target list mixes range variables")
-				}
-				if err := p.expect("."); err != nil {
-					return Output{}, err
-				}
-				attr, ok := rel.AttrByName(p.next())
-				if !ok {
-					return Output{}, fmt.Errorf("quel: unknown attribute in target list")
-				}
-				project = append(project, attr)
-			}
-		}
-	}
-	if err := p.expect(")"); err != nil {
-		return Output{}, err
-	}
-
-	// Optional `by v.attr` (grouped aggregate).
-	var groupBy *rel.Attr
-	if strings.EqualFold(p.peek(), "by") {
-		p.next()
-		v := p.next()
-		if err := p.expect("."); err != nil {
-			return Output{}, err
-		}
-		attr, ok := rel.AttrByName(p.next())
-		if !ok {
-			return Output{}, fmt.Errorf("quel: unknown grouping attribute")
-		}
-		if v != tvar {
-			return Output{}, fmt.Errorf("quel: grouping variable must match the aggregate's")
-		}
-		groupBy = &attr
-	}
-
-	// Optional qualification.
-	q := newQual()
-	if strings.EqualFold(p.peek(), "where") {
-		p.next()
-		var err error
-		q, err = p.parseQual()
-		if err != nil {
-			return Output{}, err
-		}
-	} else if !p.done() {
-		return Output{}, fmt.Errorf("quel: trailing input %q", p.peek())
-	}
-
-	if agg != nil {
-		return s.runAgg(agg, groupBy, q)
+// runRetrieve dispatches plain, into, join, and aggregate retrieves.
+func (s *Session) runRetrieve(st *RetrieveStmt) (Output, error) {
+	q := buildQual(st.Where)
+	if st.Agg != nil {
+		return s.runAgg(st.Agg, st.GroupBy, q)
 	}
 	if q.hasJoin {
-		if project != nil {
+		if st.Project != nil {
 			return Output{}, fmt.Errorf("quel: projection on joins is not supported; use .all")
 		}
-		return s.runJoin(tvar, into, q)
+		return s.runJoin(st.Var, st.Into, q)
 	}
-	return s.runSelect(tvar, into, project, q)
+	return s.runSelect(st.Var, st.Into, st.Project, q)
 }
 
 func (s *Session) relOf(v string) (*core.Relation, error) {
@@ -217,21 +150,21 @@ func (s *Session) runJoin(tvar, into string, q *qual) (Output, error) {
 	return Output{Message: msg, Result: &res}, nil
 }
 
-func (s *Session) runAgg(a *aggSpec, groupBy *rel.Attr, q *qual) (Output, error) {
-	r, err := s.relOf(a.v)
+func (s *Session) runAgg(a *AggTarget, groupBy *rel.Attr, q *qual) (Output, error) {
+	r, err := s.relOf(a.Var)
 	if err != nil {
 		return Output{}, err
 	}
 	res := s.m.RunAgg(core.AggQuery{
-		Scan:    core.ScanSpec{Rel: r, Pred: q.pred(a.v, r.N)},
-		Fn:      a.fn,
-		Attr:    a.attr,
+		Scan:    core.ScanSpec{Rel: r, Pred: q.pred(a.Var, r.N)},
+		Fn:      a.Fn,
+		Attr:    a.Attr,
 		GroupBy: groupBy,
 		Mode:    s.Mode,
 	})
 	var b strings.Builder
 	if groupBy == nil {
-		fmt.Fprintf(&b, "%s(%s) = %d", a.fn, a.attr, res.Groups[0])
+		fmt.Fprintf(&b, "%s(%s) = %d", a.Fn, a.Attr, res.Groups[0])
 	} else {
 		keys := make([]int32, 0, len(res.Groups))
 		for k := range res.Groups {
@@ -246,62 +179,28 @@ func (s *Session) runAgg(a *aggSpec, groupBy *rel.Attr, q *qual) (Output, error)
 	return Output{Message: b.String(), Agg: &res}, nil
 }
 
-// execAppend handles `append to <rel> (attr = val, ...)`.
-func (s *Session) execAppend(p *parser) (Output, error) {
-	p.next() // append
-	if err := p.expect("to"); err != nil {
-		return Output{}, err
-	}
-	r, ok := s.m.Relation(p.next())
+// runAppend builds the tuple from the set list and appends it.
+func (s *Session) runAppend(st *AppendStmt) (Output, error) {
+	r, ok := s.m.Relation(st.Rel)
 	if !ok {
-		return Output{}, fmt.Errorf("quel: unknown relation")
-	}
-	if err := p.expect("("); err != nil {
-		return Output{}, err
+		return Output{}, fmt.Errorf("quel: unknown relation %q", st.Rel)
 	}
 	var t rel.Tuple
-	for {
-		attr, ok := rel.AttrByName(p.next())
-		if !ok {
-			return Output{}, fmt.Errorf("quel: unknown attribute in append")
-		}
-		if err := p.expect("="); err != nil {
-			return Output{}, err
-		}
-		v, err := parseInt(p.next())
-		if err != nil {
-			return Output{}, err
-		}
-		t.Set(attr, v)
-		if p.peek() == "," {
-			p.next()
-			continue
-		}
-		break
-	}
-	if err := p.expect(")"); err != nil {
-		return Output{}, err
+	for _, c := range st.Sets {
+		t.Set(c.Attr, clamp32(c.Val))
 	}
 	res := s.m.RunUpdate(core.UpdateQuery{Rel: r, Kind: core.AppendTuple, Tuple: t})
 	return Output{Message: fmt.Sprintf("appended %d tuple in %.3fs", res.Tuples, res.Elapsed.Seconds()), Result: &res}, nil
 }
 
-// execDelete handles `delete <var> where <var>.<partattr> = <val>`.
-func (s *Session) execDelete(p *parser) (Output, error) {
-	p.next() // delete
-	v := p.next()
-	r, err := s.relOf(v)
+// runDelete requires an exact predicate on the partitioning attribute.
+func (s *Session) runDelete(st *DeleteStmt) (Output, error) {
+	r, err := s.relOf(st.Var)
 	if err != nil {
 		return Output{}, err
 	}
-	if err := p.expect("where"); err != nil {
-		return Output{}, err
-	}
-	q, err := p.parseQual()
-	if err != nil {
-		return Output{}, err
-	}
-	key, ok := exactKey(q, v, r.PartAttr)
+	q := buildQual(st.Where)
+	key, ok := exactKey(q, st.Var, r.PartAttr)
 	if !ok {
 		return Output{}, fmt.Errorf("quel: delete requires an exact predicate on %s", r.PartAttr)
 	}
@@ -309,52 +208,28 @@ func (s *Session) execDelete(p *parser) (Output, error) {
 	return Output{Message: fmt.Sprintf("deleted %d tuple in %.3fs", res.Tuples, res.Elapsed.Seconds()), Result: &res}, nil
 }
 
-// execReplace handles `replace <var> (attr = val) where <qual>`.
-func (s *Session) execReplace(p *parser) (Output, error) {
-	p.next() // replace
-	v := p.next()
-	r, err := s.relOf(v)
+// runReplace picks the update kind from the modified attribute and indexes.
+func (s *Session) runReplace(st *ReplaceStmt) (Output, error) {
+	r, err := s.relOf(st.Var)
 	if err != nil {
 		return Output{}, err
 	}
-	if err := p.expect("("); err != nil {
-		return Output{}, err
-	}
-	attr, ok := rel.AttrByName(p.next())
-	if !ok {
-		return Output{}, fmt.Errorf("quel: unknown attribute in replace")
-	}
-	if err := p.expect("="); err != nil {
-		return Output{}, err
-	}
-	newVal, err := parseInt(p.next())
-	if err != nil {
-		return Output{}, err
-	}
-	if err := p.expect(")"); err != nil {
-		return Output{}, err
-	}
-	if err := p.expect("where"); err != nil {
-		return Output{}, err
-	}
-	q, err := p.parseQual()
-	if err != nil {
-		return Output{}, err
-	}
+	q := buildQual(st.Where)
+	attr, newVal := st.Set.Attr, clamp32(st.Set.Val)
 
 	uq := core.UpdateQuery{Rel: r, Attr: attr, NewValue: newVal}
 	switch {
 	case attr == r.PartAttr:
-		key, ok := exactKey(q, v, r.PartAttr)
+		key, ok := exactKey(q, st.Var, r.PartAttr)
 		if !ok {
 			return Output{}, fmt.Errorf("quel: key modification requires an exact predicate on %s", r.PartAttr)
 		}
 		uq.Kind, uq.Key = core.ModifyKeyAttr, key
 	default:
-		if key, ok := exactKey(q, v, attr); ok && indexedNonClustered(r, attr) {
+		if key, ok := exactKey(q, st.Var, attr); ok && indexedNonClustered(r, attr) {
 			// Locate through the attribute's own dense index.
 			uq.Kind, uq.Key = core.ModifyIndexed, key
-		} else if key, ok := exactKey(q, v, r.PartAttr); ok {
+		} else if key, ok := exactKey(q, st.Var, r.PartAttr); ok {
 			uq.Kind, uq.Key = core.ModifyNonIndexed, key
 		} else {
 			return Output{}, fmt.Errorf("quel: replace requires an exact predicate on %s or on the modified indexed attribute", r.PartAttr)
@@ -375,13 +250,4 @@ func exactKey(q *qual, v string, attr rel.Attr) (int32, bool) {
 		return 0, false
 	}
 	return clamp32(b[0]), true
-}
-
-func parseInt(tok string) (int32, error) {
-	var v int64
-	_, err := fmt.Sscanf(tok, "%d", &v)
-	if err != nil {
-		return 0, fmt.Errorf("quel: expected integer, got %q", tok)
-	}
-	return clamp32(v), nil
 }

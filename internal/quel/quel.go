@@ -14,6 +14,10 @@
 // attribute and a constant (=, <, <=, >, >=) or an equijoin term between two
 // range variables' attributes. Range restrictions on one side of a join term
 // are propagated to the other, as Gamma's optimizer does (§6.1).
+//
+// Parsing and execution are separate layers: Parse turns a line into a Stmt
+// (ast.go) with no catalog access, and Session.Run executes a Stmt against a
+// machine. Session.Exec composes the two.
 package quel
 
 import (
@@ -25,53 +29,39 @@ import (
 	"gamma/internal/rel"
 )
 
-// Session holds range-variable bindings against one machine.
-type Session struct {
-	m      *core.Machine
-	ranges map[string]*core.Relation
-	// Mode is the join placement used for joins and aggregates.
-	Mode core.JoinMode
-}
-
-// NewSession starts a session on m.
-func NewSession(m *core.Machine) *Session {
-	return &Session{m: m, ranges: map[string]*core.Relation{}, Mode: core.Remote}
-}
-
-// Output is the result of executing one statement.
-type Output struct {
-	// Message is a human-readable summary.
-	Message string
-	// Result holds the engine result for retrieve/append/delete/replace.
-	Result *core.Result
-	// Agg holds the result of an aggregate retrieve.
-	Agg *core.AggResult
-}
-
-// Exec parses and runs one statement.
-func (s *Session) Exec(line string) (Output, error) {
+// Parse parses one statement into its AST without touching any session or
+// catalog state. An all-whitespace line parses to (nil, nil).
+func Parse(line string) (Stmt, error) {
 	toks, err := lex(line)
 	if err != nil {
-		return Output{}, err
+		return nil, err
 	}
 	if len(toks) == 0 {
-		return Output{Message: ""}, nil
+		return nil, nil
 	}
 	p := &parser{toks: toks}
+	var st Stmt
 	switch strings.ToLower(toks[0].text) {
 	case "range":
-		return s.execRange(p)
+		st, err = p.parseRange()
 	case "retrieve":
-		return s.execRetrieve(p)
+		st, err = p.parseRetrieve()
 	case "append":
-		return s.execAppend(p)
+		st, err = p.parseAppend()
 	case "delete":
-		return s.execDelete(p)
+		st, err = p.parseDelete()
 	case "replace":
-		return s.execReplace(p)
+		st, err = p.parseReplace()
 	default:
-		return Output{}, fmt.Errorf("quel: unknown statement %q", toks[0].text)
+		return nil, fmt.Errorf("quel: unknown statement %q", toks[0].text)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("quel: trailing input %q", p.peek())
+	}
+	return st, nil
 }
 
 // --- lexer ---------------------------------------------------------------
@@ -152,12 +142,335 @@ func (p *parser) expect(want string) error {
 	return nil
 }
 
+// ident consumes a name token: relation, range-variable, or result names.
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t == "" {
+		return "", fmt.Errorf("quel: unexpected end of input")
+	}
+	if c := t[0]; c != '_' && !(c >= 'a' && c <= 'z') && !(c >= 'A' && c <= 'Z') {
+		return "", fmt.Errorf("quel: expected identifier, got %q", t)
+	}
+	return t, nil
+}
+
+// attr consumes an attribute name token.
+func (p *parser) attr() (rel.Attr, error) {
+	t := p.next()
+	a, ok := rel.AttrByName(t)
+	if !ok {
+		return 0, fmt.Errorf("quel: unknown attribute %q", t)
+	}
+	return a, nil
+}
+
 func (p *parser) done() bool { return p.i >= len(p.toks) }
+
+// --- statement parsers ---------------------------------------------------
+
+// parseRange parses `range of <var> is <relation>`.
+func (p *parser) parseRange() (Stmt, error) {
+	p.next() // range
+	if err := p.expect("of"); err != nil {
+		return nil, err
+	}
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("is"); err != nil {
+		return nil, err
+	}
+	rn, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &RangeStmt{Var: v, Rel: rn}, nil
+}
+
+var aggNames = map[string]core.AggFn{
+	"count": core.Count, "sum": core.Sum, "min": core.Min, "max": core.Max, "avg": core.Avg,
+}
+
+// parseRetrieve parses plain, into, join, and aggregate retrieves.
+func (p *parser) parseRetrieve() (Stmt, error) {
+	p.next() // retrieve
+	st := &RetrieveStmt{}
+	if strings.EqualFold(p.peek(), "into") {
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Into = name
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+
+	// Target list: `v.all`, a projection list `v.a1, v.a2, ...`, or an
+	// aggregate `fn(v.attr)`.
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if fn, ok := aggNames[strings.ToLower(first)]; ok {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		a, err := p.attr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		st.Agg = &AggTarget{Fn: fn, Var: v, Attr: a}
+		st.Var = v
+	} else {
+		st.Var = first
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		name := p.next()
+		if strings.EqualFold(name, "all") {
+			st.All = true
+		} else {
+			a, ok := rel.AttrByName(name)
+			if !ok {
+				return nil, fmt.Errorf("quel: unknown attribute %q in target list", name)
+			}
+			st.Project = append(st.Project, a)
+			for p.peek() == "," {
+				p.next()
+				v, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if v != st.Var {
+					return nil, fmt.Errorf("quel: target list mixes range variables")
+				}
+				if err := p.expect("."); err != nil {
+					return nil, err
+				}
+				a, err := p.attr()
+				if err != nil {
+					return nil, err
+				}
+				st.Project = append(st.Project, a)
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+
+	// Optional `by v.attr` (grouped aggregate).
+	if strings.EqualFold(p.peek(), "by") {
+		p.next()
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		a, err := p.attr()
+		if err != nil {
+			return nil, err
+		}
+		if v != st.Var {
+			return nil, fmt.Errorf("quel: grouping variable must match the aggregate's")
+		}
+		st.GroupBy = &a
+	}
+
+	// Optional qualification.
+	if strings.EqualFold(p.peek(), "where") {
+		p.next()
+		st.Where, err = p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// parseAppend parses `append to <rel> (attr = val, ...)`.
+func (p *parser) parseAppend() (Stmt, error) {
+	p.next() // append
+	if err := p.expect("to"); err != nil {
+		return nil, err
+	}
+	rn, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &AppendStmt{Rel: rn}
+	for {
+		c, err := p.parseSet()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, c)
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseDelete parses `delete <var> where <qual>`.
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // delete
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("where"); err != nil {
+		return nil, err
+	}
+	terms, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Var: v, Where: terms}, nil
+}
+
+// parseReplace parses `replace <var> (attr = val) where <qual>`.
+func (p *parser) parseReplace() (Stmt, error) {
+	p.next() // replace
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	set, err := p.parseSet()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("where"); err != nil {
+		return nil, err
+	}
+	terms, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &ReplaceStmt{Var: v, Set: set, Where: terms}, nil
+}
+
+// parseSet parses one `attr = value` assignment.
+func (p *parser) parseSet() (SetClause, error) {
+	a, err := p.attr()
+	if err != nil {
+		return SetClause{}, err
+	}
+	if err := p.expect("="); err != nil {
+		return SetClause{}, err
+	}
+	tok := p.next()
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return SetClause{}, fmt.Errorf("quel: expected integer, got %q", tok)
+	}
+	return SetClause{Attr: a, Val: v}, nil
+}
 
 // --- qualifications ------------------------------------------------------
 
-// qual is a parsed conjunction: per-variable range restrictions plus at most
-// one equijoin term.
+// parseWhere parses `<term> [and <term>]...` where a term is
+// `var.attr OP const`, `const OP var.attr`, or `var.attr = var.attr`.
+func (p *parser) parseWhere() ([]Term, error) {
+	var terms []Term
+	joins := 0
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t.Left.IsConst && t.Right.IsConst:
+			return nil, fmt.Errorf("quel: constant comparison is not useful")
+		case !t.Left.IsConst && !t.Right.IsConst:
+			if t.Op != "=" {
+				return nil, fmt.Errorf("quel: only equijoins are supported")
+			}
+			if joins++; joins > 1 {
+				return nil, fmt.Errorf("quel: at most one join term per query")
+			}
+		}
+		terms = append(terms, t)
+		if strings.EqualFold(p.peek(), "and") {
+			p.next()
+			continue
+		}
+		return terms, nil
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return Term{}, err
+	}
+	op := p.next()
+	switch op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return Term{}, fmt.Errorf("quel: expected comparison operator, got %q", op)
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return Term{}, err
+	}
+	return Term{Left: l, Op: op, Right: r}, nil
+}
+
+// parseOperand parses `var.attr` or an integer constant.
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.next()
+	if t == "" {
+		return Operand{}, fmt.Errorf("quel: unexpected end of input")
+	}
+	if n, convErr := strconv.ParseInt(t, 10, 64); convErr == nil {
+		return Operand{Const: n, IsConst: true}, nil
+	}
+	if c := t[0]; c != '_' && !(c >= 'a' && c <= 'z') && !(c >= 'A' && c <= 'Z') {
+		return Operand{}, fmt.Errorf("quel: expected var.attr or constant, got %q", t)
+	}
+	if p.peek() != "." {
+		return Operand{}, fmt.Errorf("quel: expected var.attr or constant, got %q", t)
+	}
+	p.next()
+	a, err := p.attr()
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Var: t, Attr: a}, nil
+}
+
+// qual is a folded conjunction: per-variable range restrictions plus at most
+// one equijoin term. The executor builds it from a Stmt's Term list.
 type qual struct {
 	// bounds[var][attr] = [lo, hi]
 	bounds map[string]map[rel.Attr][2]int64
@@ -169,6 +482,27 @@ type qual struct {
 
 func newQual() *qual {
 	return &qual{bounds: map[string]map[rel.Attr][2]int64{}}
+}
+
+// buildQual folds a validated term list into per-variable bounds and the
+// join term. Parse has already rejected malformed shapes, so this cannot
+// fail.
+func buildQual(terms []Term) *qual {
+	q := newQual()
+	for _, t := range terms {
+		switch {
+		case !t.Left.IsConst && !t.Right.IsConst:
+			q.hasJoin = true
+			q.av, q.aattr = t.Left.Var, t.Left.Attr
+			q.bv, q.battr = t.Right.Var, t.Right.Attr
+		case t.Left.IsConst:
+			// const OP var.attr: flip.
+			q.applyCmp(t.Right.Var, t.Right.Attr, flip(t.Op), t.Left.Const)
+		default:
+			q.applyCmp(t.Left.Var, t.Left.Attr, t.Op, t.Right.Const)
+		}
+	}
+	return q
 }
 
 func (q *qual) restrict(v string, a rel.Attr, lo, hi int64) {
@@ -218,62 +552,6 @@ func clamp32(v int64) int32 {
 	return int32(v)
 }
 
-// parseQual parses `<term> [and <term>]...` where a term is
-// `var.attr OP const`, `const OP var.attr`, or `var.attr = var.attr`.
-func (p *parser) parseQual() (*qual, error) {
-	q := newQual()
-	for {
-		if err := p.parseTerm(q); err != nil {
-			return nil, err
-		}
-		if strings.EqualFold(p.peek(), "and") {
-			p.next()
-			continue
-		}
-		break
-	}
-	if !p.done() {
-		return nil, fmt.Errorf("quel: trailing input %q", p.peek())
-	}
-	return q, nil
-}
-
-func (p *parser) parseTerm(q *qual) error {
-	lv, lattr, lconst, lIsConst, err := p.parseOperand()
-	if err != nil {
-		return err
-	}
-	op := p.next()
-	switch op {
-	case "=", "<", "<=", ">", ">=":
-	default:
-		return fmt.Errorf("quel: expected comparison operator, got %q", op)
-	}
-	rv, rattr, rconst, rIsConst, err := p.parseOperand()
-	if err != nil {
-		return err
-	}
-	switch {
-	case lIsConst && rIsConst:
-		return fmt.Errorf("quel: constant comparison is not useful")
-	case !lIsConst && !rIsConst:
-		if op != "=" {
-			return fmt.Errorf("quel: only equijoins are supported")
-		}
-		if q.hasJoin {
-			return fmt.Errorf("quel: at most one join term per query")
-		}
-		q.hasJoin = true
-		q.av, q.aattr, q.bv, q.battr = lv, lattr, rv, rattr
-	case lIsConst:
-		// const OP var.attr: flip.
-		q.applyCmp(rv, rattr, flip(op), lconst)
-	default:
-		q.applyCmp(lv, lattr, op, rconst)
-	}
-	return nil
-}
-
 func flip(op string) string {
 	switch op {
 	case "<":
@@ -301,25 +579,4 @@ func (q *qual) applyCmp(v string, a rel.Attr, op string, c int64) {
 	case ">=":
 		q.restrict(v, a, c, 1<<31-1)
 	}
-}
-
-// parseOperand parses `var.attr` or an integer constant.
-func (p *parser) parseOperand() (v string, a rel.Attr, c int64, isConst bool, err error) {
-	t := p.next()
-	if t == "" {
-		return "", 0, 0, false, fmt.Errorf("quel: unexpected end of input")
-	}
-	if n, convErr := strconv.ParseInt(t, 10, 64); convErr == nil {
-		return "", 0, n, true, nil
-	}
-	if p.peek() != "." {
-		return "", 0, 0, false, fmt.Errorf("quel: expected var.attr or constant, got %q", t)
-	}
-	p.next()
-	attrName := p.next()
-	attr, ok := rel.AttrByName(attrName)
-	if !ok {
-		return "", 0, 0, false, fmt.Errorf("quel: unknown attribute %q", attrName)
-	}
-	return t, attr, 0, false, nil
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "gamma/internal/trace"
+
 // Resource is a non-preemptive FIFO queueing server: requests are served one
 // at a time, in arrival order, each for a caller-specified service time.
 // CPUs, disk drives, network interfaces, and the token ring are all modeled
@@ -51,7 +53,8 @@ func (r *Resource) schedule(d Dur) Time {
 	if d < 0 {
 		d = 0
 	}
-	start := r.sim.now
+	now := r.sim.now
+	start := now
 	if r.busyUntil > start {
 		r.waited += r.busyUntil - start
 		start = r.busyUntil
@@ -59,6 +62,21 @@ func (r *Resource) schedule(d Dur) Time {
 	r.busyUntil = start + d
 	r.busy += d
 	r.requests++
+	if r.sim.sink != nil {
+		// Both records are emitted at schedule time: arrivals are totally
+		// ordered by the event loop, so the service interval [start, end]
+		// is already final. The release record's At is the completion
+		// instant; the stream is therefore in emission order, not
+		// timestamp order.
+		r.sim.sink.Emit(trace.Event{
+			At: int64(now), Kind: trace.KindAcquire, Res: r.name,
+			Wait: int64(start - now),
+		})
+		r.sim.sink.Emit(trace.Event{
+			At: int64(r.busyUntil), Kind: trace.KindRelease, Res: r.name,
+			Start: int64(start), End: int64(r.busyUntil),
+		})
+	}
 	return r.busyUntil
 }
 

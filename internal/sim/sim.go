@@ -16,6 +16,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"gamma/internal/trace"
 )
 
 // Time is a point in simulated time, in microseconds since Run started.
@@ -75,6 +77,7 @@ type Sim struct {
 	procs   int           // number of live processes
 	failure any           // panic value escaped from a process
 	trace   func(t Time, format string, args ...any)
+	sink    trace.Sink
 }
 
 // New returns an empty simulation with the clock at zero.
@@ -87,6 +90,25 @@ func (s *Sim) Now() Time { return s.now }
 
 // SetTrace installs a trace hook invoked by Proc.Tracef; nil disables tracing.
 func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.trace = fn }
+
+// SetSink installs a structured event sink (typically a *trace.Collector)
+// that receives typed records from the kernel and every model built on it;
+// nil disables structured tracing.
+func (s *Sim) SetSink(sink trace.Sink) { s.sink = sink }
+
+// Sink returns the installed structured event sink, or nil.
+func (s *Sim) Sink() trace.Sink { return s.sink }
+
+// Emit forwards a structured event to the sink, if one is installed.
+// Emitters that compute event fields eagerly should check Tracing first.
+func (s *Sim) Emit(e trace.Event) {
+	if s.sink != nil {
+		s.sink.Emit(e)
+	}
+}
+
+// Tracing reports whether a structured event sink is installed.
+func (s *Sim) Tracing() bool { return s.sink != nil }
 
 // At schedules fn to run at absolute time t (clamped to now).
 func (s *Sim) At(t Time, fn func()) {

@@ -1,0 +1,100 @@
+// Package trace defines the typed, structured event stream emitted by the
+// simulation kernel (internal/sim), the device models (internal/disk,
+// internal/nose), and the Gamma engine (internal/core), and the analysis
+// built on top of it: per-resource busy-interval accounting, per-operator
+// phase spans, and a bottleneck classifier (Diagnose) that reports which
+// resource — disk, CPU, NIC, or ring — bound a query, the diagnostic axis of
+// the paper's §5.2 and §6.2.
+//
+// The package is a leaf: it imports nothing from the repository, so every
+// layer above it can emit events without cycles. Times are simulated
+// microseconds (the unit of sim.Time); emitters convert implicitly since
+// both are int64s.
+//
+// The event stream is strictly deterministic: the simulation kernel's
+// hand-off discipline totally orders emissions, so identical seed and
+// configuration produce a byte-identical JSONL export — a property the
+// regression suite asserts.
+package trace
+
+// Kind discriminates event records. String-typed so JSONL lines read
+// without a decoder ring.
+type Kind string
+
+const (
+	// KindAcquire: a request entered a resource's FIFO queue. Wait is the
+	// queueing delay it will experience before service.
+	KindAcquire Kind = "acquire"
+	// KindRelease: a service interval [Start, End] on a resource. Emitted
+	// at schedule time with At = End (the simulated completion instant).
+	KindRelease Kind = "release"
+	// KindDiskOp: one page access with its positioning class
+	// (seq-read/rand-read/seq-write/rand-write) in Class.
+	KindDiskOp Kind = "disk-op"
+	// KindPacket: a data or end-of-stream packet crossed the ring from
+	// node From to node To.
+	KindPacket Kind = "packet"
+	// KindLocalMsg: a same-node message short-circuited by the
+	// communications software (§2) — no NIC or ring involvement.
+	KindLocalMsg Kind = "local-msg"
+	// KindCtlMsg: an inter-node scheduler/operator control message.
+	KindCtlMsg Kind = "ctl-msg"
+	// KindRetransmit: the sliding-window protocol resent a dropped packet.
+	KindRetransmit Kind = "retransmit"
+	// KindOpStart / KindOpDone bracket one operator process (selection
+	// scan, store, join, spool scan) at one site.
+	KindOpStart Kind = "op-start"
+	KindOpDone  Kind = "op-done"
+	// KindPhaseStart / KindPhaseDone bracket one phase inside an operator
+	// (join build, probe, overflow round build/probe), so the Figure 13
+	// analysis can attribute time to individual join phases.
+	KindPhaseStart Kind = "phase-start"
+	KindPhaseDone  Kind = "phase-done"
+	// KindQueryStart / KindQueryDone bracket one query's host-to-host span.
+	KindQueryStart Kind = "query-start"
+	KindQueryDone  Kind = "query-done"
+)
+
+// Event is one record of the stream. A single flat struct keeps JSONL
+// encoding trivial and deterministic. Zero-valued fields are omitted from
+// the JSON encoding; since Go decoding restores omitted fields to their
+// zero values, round-tripping is lossless.
+type Event struct {
+	At    int64  `json:"at"`              // simulated µs at emission
+	Kind  Kind   `json:"kind"`
+	Res   string `json:"res,omitempty"`   // resource name (acquire/release)
+	Class string `json:"class,omitempty"` // disk positioning class, packet kind, phase label
+	Op    string `json:"op,omitempty"`    // operator id (op/phase spans)
+	Query string `json:"query,omitempty"` // query id (query spans)
+	Node  int    `json:"node,omitempty"`  // node the event happened on
+	Site  int    `json:"site,omitempty"`  // operator site index
+	From  int    `json:"from,omitempty"`  // sending node (packets)
+	To    int    `json:"to,omitempty"`    // receiving node (packets)
+	Start int64  `json:"start,omitempty"` // service interval start (release)
+	End   int64  `json:"end,omitempty"`   // service interval end (release)
+	Wait  int64  `json:"wait,omitempty"`  // queueing delay (acquire)
+	Bytes int    `json:"bytes,omitempty"` // payload size (disk ops, packets)
+	File  int    `json:"file,omitempty"`  // file id (disk ops)
+	Page  int    `json:"page,omitempty"`  // page number (disk ops)
+	N     int    `json:"n,omitempty"`     // generic count (tuples produced)
+}
+
+// Sink receives events. The Collector is the standard sink; the interface
+// exists so emitters (sim, disk, nose, core) depend only on this package.
+type Sink interface {
+	Emit(e Event)
+}
+
+// ResClass maps a resource name to its hardware class by stripping the
+// numeric suffix: "cpu3" -> "cpu", "disk0" -> "disk", "nic12" -> "nic",
+// "ring" -> "ring". Unknown names map to themselves sans digits.
+func ResClass(name string) string {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == 0 {
+		return name
+	}
+	return name[:i]
+}
