@@ -19,16 +19,20 @@ import (
 	"gamma/internal/bench"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "run with reduced relation sizes")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("gammabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run with reduced relation sizes")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	opts := bench.Full()
@@ -36,21 +40,34 @@ func main() {
 		opts = bench.Quick()
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
+	// Reject unknown experiments up front, before hours of simulation.
+	for _, id := range ids {
+		if _, ok := bench.Lookup(id); !ok {
+			fmt.Fprintf(stderr, "gammabench: unknown experiment %q\n", id)
+			fs.Usage()
+			fmt.Fprintf(stderr, "experiments (use -list for titles):\n")
+			for _, e := range bench.Experiments() {
+				fmt.Fprintf(stderr, "  %s\n", e.ID)
+			}
+			return 2
+		}
+	}
 	if len(ids) == 0 {
 		for _, e := range bench.Experiments() {
 			ids = append(ids, e.ID)
 		}
 	}
 	for _, id := range ids {
-		e, ok := bench.Lookup(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "gammabench: unknown experiment %q (use -list)\n", id)
-			os.Exit(1)
-		}
+		e, _ := bench.Lookup(id)
 		start := time.Now()
 		tbl := e.Run(opts)
-		tbl.Render(os.Stdout)
-		fmt.Printf("   [%s regenerated in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
+		tbl.Render(stdout)
+		fmt.Fprintf(stdout, "   [%s regenerated in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

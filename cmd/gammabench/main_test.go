@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { null.Close() })
+	return null
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-experiment", "table1"}, null, null); code != 2 {
+		t.Errorf("unknown flag: exit code %d, want 2", code)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-quick", "table9"}, null, null); code != 2 {
+		t.Errorf("unknown experiment: exit code %d, want 2", code)
+	}
+	// The check must fire before any experiment runs, even when a valid id
+	// precedes the bad one.
+	if code := run([]string{"-quick", "table1", "table9"}, null, null); code != 2 {
+		t.Errorf("valid+unknown experiments: exit code %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	null := devNull(t)
+	if code := run([]string{"-list"}, null, null); code != 0 {
+		t.Errorf("-list: exit code %d, want 0", code)
+	}
+}

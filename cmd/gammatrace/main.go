@@ -7,24 +7,54 @@
 //
 //	gammatrace [-disk 8] [-diskless 8] [-tuples 100000] [-pagesize 4096]
 //	           [-query select|join] [-sel 10] [-mode remote]
+//	           [-fault spec]... [-mirror] [-detect 0.25]
 //	           [-out trace.jsonl] [-trace]
 //
 // -sel is the selection percentage; -out exports the structured event stream
 // as JSONL; -trace additionally dumps the raw printf simulation trace (very
 // verbose).
+//
+// -fault injects a failure at a simulated instant and may repeat. Specs are
+// "site@seconds" (disk-node crash), "drive:site@seconds" (drive only), or
+// "nic:node@seconds+dur" (transient NIC outage). Any -fault loads the
+// relations with chained-declustered backups and arms mid-query failover;
+// -mirror loads the backups without injecting anything, and -detect tunes
+// the scheduler's operator-silence timeout in seconds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gamma/internal/config"
 	"gamma/internal/core"
+	"gamma/internal/fault"
 	"gamma/internal/rel"
 	"gamma/internal/sim"
 	"gamma/internal/wisconsin"
 )
+
+// faultList collects repeated -fault flags.
+type faultList []fault.Injection
+
+func (f *faultList) String() string {
+	var parts []string
+	for _, in := range *f {
+		parts = append(parts, in.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *faultList) Set(s string) error {
+	in, err := fault.ParseInjection(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, in)
+	return nil
+}
 
 // parseMode resolves a -mode flag value, rejecting unknown strings (instead
 // of silently falling through to the zero JoinMode).
@@ -53,7 +83,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	mode := fs.String("mode", "remote", "join mode: local | remote | all")
 	out := fs.String("out", "", "write the structured event stream as JSONL to this file")
 	rawTrace := fs.Bool("trace", false, "dump the raw simulation trace")
+	var faults faultList
+	fs.Var(&faults, "fault", "inject a failure: site@sec, drive:site@sec, or nic:node@sec+dur (repeatable)")
+	mirror := fs.Bool("mirror", false, "load chained-declustered backup fragments (implied by -fault)")
+	detect := fs.Float64("detect", 0, "failover detection timeout in seconds (0 = default)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "gammatrace: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
 		return 2
 	}
 
@@ -74,11 +113,20 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	m := core.NewMachine(s, &prm, *nDisk, *nDiskless)
 	col := m.EnableTrace()
+	if len(faults) > 0 || *mirror {
+		m.EnableMirroring()
+	}
 	u1 := rel.Unique1
 	r := m.Load(core.LoadSpec{
 		Name: "A", Strategy: core.Hashed, PartAttr: rel.Unique1,
 		ClusteredIndex: &u1, NonClusteredIndexes: []rel.Attr{rel.Unique2},
 	}, wisconsin.Generate(*tuples, 1))
+	if len(faults) > 0 {
+		fault.Arm(m, fault.Schedule{
+			Detect:     sim.Dur(*detect * float64(sim.Second)),
+			Injections: faults,
+		})
+	}
 
 	pred := rel.Between(rel.Unique2, 0, int32(float64(*tuples)**selPct/100)-1)
 	snap := m.Snapshot()
@@ -106,6 +154,15 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	if res.Diag != nil {
 		fmt.Fprintf(stdout, "\nverdict: %s\n", res.Diag)
+	}
+	if evs := col.Faults(); len(evs) > 0 {
+		fmt.Fprintf(stdout, "\nfaults:\n")
+		for _, e := range evs {
+			fmt.Fprintf(stdout, "  %9.3fs  %s node %d\n", float64(e.At)/1e6, e.Class, e.Node)
+		}
+		for _, e := range col.Failovers() {
+			fmt.Fprintf(stdout, "  %9.3fs  failover %s (attempt %d)\n", float64(e.At)/1e6, e.Class, e.N)
+		}
 	}
 	if phases := col.MergedPhases(); len(phases) > 0 {
 		fmt.Fprintf(stdout, "\nphases:\n")

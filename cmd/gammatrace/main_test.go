@@ -75,3 +75,33 @@ func TestRunSelectWritesJSONL(t *testing.T) {
 		t.Fatal("JSONL export is empty")
 	}
 }
+
+func TestRunRejectsBadFault(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	for _, args := range [][]string{
+		{"-fault", "bogus"},
+		{"-fault", "nic:1@0.5"}, // nic outage needs a +dur
+		{"-fault", "2@-1"},
+		{"-tuples", "2000", "stray-arg"},
+	} {
+		if code := run(args, null, null); code != 2 {
+			t.Errorf("run(%v): exit code %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunSelectWithFault(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	args := []string{"-disk", "4", "-diskless", "0", "-tuples", "5000", "-fault", "1@0.2"}
+	if code := run(args, null, null); code != 0 {
+		t.Fatalf("run(%v): exit code %d, want 0", args, code)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+// Machine-level fault tolerance: chained-declustered replicas, failure
+// entry points (disk-node crash, single-drive failure, transient NIC
+// outage), and the bookkeeping the per-query failover protocol in query.go
+// relies on. The scheduling of failures against the simulation clock lives
+// one layer up, in internal/fault.
+
+import (
+	"fmt"
+
+	"gamma/internal/disk"
+	"gamma/internal/nose"
+	"gamma/internal/sim"
+	"gamma/internal/trace"
+)
+
+// DefaultFailoverDetect is the scheduler's operator-silence timeout when
+// EnableFailover is given no explicit value. It is large against per-packet
+// latencies (so quiet phases of a healthy run never look dead) but small
+// against query response times, keeping the detection share of degraded
+// response time bounded.
+const DefaultFailoverDetect = 250 * sim.Millisecond
+
+// EnableMirroring makes every subsequent Load build chained-declustered
+// backup fragments: disk node i holds the primary of fragment i and the
+// backup of fragment i-1 (the follow-on Gamma availability design). Must be
+// called before the relations that should survive a failure are loaded.
+func (m *Machine) EnableMirroring() { m.mirrored = true }
+
+// Mirrored reports whether loads build chained-declustered backups.
+func (m *Machine) Mirrored() bool { return m.mirrored }
+
+// EnableFailover arms mid-query failure handling: the scheduler's inbox
+// waits time out after detect of silence, newly failed sites abort the
+// running attempt (partial results are dropped), and the work is
+// re-dispatched against backup fragments. detect <= 0 selects
+// DefaultFailoverDetect. Failover needs EnableMirroring to have something
+// to re-dispatch to.
+func (m *Machine) EnableFailover(detect sim.Dur) {
+	if detect <= 0 {
+		detect = DefaultFailoverDetect
+	}
+	m.ftDetect = detect
+}
+
+// CrashDisk fails disk site (index into m.Disk) completely: its operator
+// processes are killed, its ports closed (returning senders' window
+// credits), its drive failed, and any diskless processor spooling to it is
+// re-assigned to a surviving drive. Idempotent. Kernel context (an event
+// function, or between queries).
+func (m *Machine) CrashDisk(site int) {
+	nd := m.Disk[site]
+	if nd.Failed() {
+		return
+	}
+	m.Sim.Emit(trace.Event{
+		At: int64(m.Sim.Now()), Kind: trace.KindFault, Class: "node-crash",
+		Node: nd.ID, Site: site,
+	})
+	for _, p := range append([]*sim.Proc(nil), m.procs[nd.ID]...) {
+		p.Kill()
+	}
+	nd.Fail()
+	nd.Drive.Fail()
+	m.reassignSpools()
+}
+
+// FailDrive fails only the drive of disk site: the processor stays up, so
+// in-flight accesses raise disk.FailedError, the operator reports the loss,
+// and detection is immediate rather than timeout-driven. Idempotent.
+func (m *Machine) FailDrive(site int) {
+	nd := m.Disk[site]
+	if nd.Drive.Failed() {
+		return
+	}
+	m.Sim.Emit(trace.Event{
+		At: int64(m.Sim.Now()), Kind: trace.KindFault, Class: "drive-fail",
+		Node: nd.ID, Site: site,
+	})
+	nd.Drive.Fail()
+	m.reassignSpools()
+}
+
+// NICOutage blocks a node's network interface for d, modeling a transient
+// interface fault: traffic queues behind the outage and drains afterwards.
+// No failover is involved — the sliding-window protocol simply stalls — and
+// it composes with Network.InjectLoss packet drops. node is a node ID (any
+// processor, not just disk sites).
+func (m *Machine) NICOutage(node int, d sim.Dur) {
+	nd := m.Net.Nodes()[node]
+	m.Sim.Emit(trace.Event{
+		At: int64(m.Sim.Now()), Kind: trace.KindFault, Class: "nic-outage",
+		Node: nd.ID, End: int64(m.Sim.Now() + d),
+	})
+	nd.NIC.UseAsync(d)
+}
+
+// reassignSpools points every processor whose spool drive is gone at the
+// first surviving drive (join overflow resolution must keep working in
+// degraded mode).
+func (m *Machine) reassignSpools() {
+	var alive *nose.Node
+	for _, nd := range m.Disk {
+		if m.driveUp(nd) {
+			alive = nd
+			break
+		}
+	}
+	if alive == nil {
+		return // nothing left to spool to; queries will fail loudly
+	}
+	for _, nd := range m.Net.Nodes() {
+		if nd.SpoolNode != nil && !m.driveUp(nd.SpoolNode) {
+			nd.SpoolNode = alive
+		}
+	}
+}
+
+// driveUp reports whether a node can serve disk I/O: the node is running
+// and its drive works.
+func (m *Machine) driveUp(nd *nose.Node) bool {
+	return !nd.Failed() && nd.Drive != nil && !nd.Drive.Failed()
+}
+
+// liveFrag returns the readable copy of fragment i of r: the primary, or —
+// when the primary's node or drive is lost — its chained-declustered backup
+// on the next disk node. It panics when neither copy is readable (data loss:
+// two adjacent failures, or no mirroring).
+func (m *Machine) liveFrag(r *Relation, i int) *Fragment {
+	fr := r.Frags[i]
+	if m.driveUp(fr.Node) {
+		return fr
+	}
+	if i < len(r.Backups) {
+		if b := r.Backups[i]; m.driveUp(b.Node) {
+			return b
+		}
+	}
+	panic(fmt.Sprintf("core: fragment %d of %s unavailable (primary down, no live backup)", i, r.Name))
+}
+
+// reportDriveLoss is the deferred recovery handler for operators without an
+// abort protocol (selections, spool scans): a disk.FailedError raised by a
+// failed drive becomes an opFailed report, so the scheduler detects the
+// loss immediately instead of waiting out the silence timeout. Any other
+// panic — including the kill sentinel of a crashed node — passes through.
+func reportDriveLoss(m *Machine, p *sim.Proc, nd *nose.Node, opID string, sched *nose.Port) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if _, ok := r.(disk.FailedError); ok && !nd.Failed() {
+		nose.SendCtl(p, nd, sched, opFailed{op: opID, node: nd.ID})
+		return
+	}
+	panic(r)
+}
+
+// spawnOn starts an operator process bound to a node: a crash of that node
+// kills it, and a process spawned for an already-failed node never runs.
+// All operator processes go through here so CrashDisk can find them.
+func (m *Machine) spawnOn(nd *nose.Node, name string, fn func(p *sim.Proc)) {
+	if nd.Failed() {
+		return
+	}
+	var pr *sim.Proc
+	pr = m.Sim.Spawn(name, func(p *sim.Proc) {
+		defer func() {
+			// Deregister on any exit (normal, killed, or panicking).
+			live := m.procs[nd.ID]
+			for i, q := range live {
+				if q == pr {
+					m.procs[nd.ID] = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		}()
+		fn(p)
+	})
+	m.procs[nd.ID] = append(m.procs[nd.ID], pr)
+}

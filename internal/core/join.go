@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gamma/internal/disk"
 	"gamma/internal/nose"
 	"gamma/internal/rel"
 	"gamma/internal/sim"
@@ -60,7 +61,15 @@ const (
 	ctlRoundProbe
 	ctlProbeClose
 	ctlFinish
+	// ctlAbort tells a join operator to discard its table and spools and
+	// acknowledge with abortedMsg — part of mid-query failover teardown.
+	ctlAbort
 )
+
+// abortSignal unwinds a join operator out of whatever phase it is in when a
+// ctlAbort arrives; the operator's deferred handler turns it into cleanup
+// plus an acknowledgement.
+type abortSignal struct{}
 
 type joinCtl struct {
 	kind      joinCtlKind
@@ -149,12 +158,34 @@ type joinSpec struct {
 // hash-partitioned join of [DEWI85] (§6).
 func spawnJoin(spec joinSpec) {
 	m := spec.m
-	m.Sim.Spawn(fmt.Sprintf("%s@%d", spec.opID, spec.node.ID), func(p *sim.Proc) {
+	m.spawnOn(spec.node, fmt.Sprintf("%s@%d", spec.opID, spec.node.ID), func(p *sim.Proc) {
 		phase := func(kind trace.Kind, label string, n int) {
 			m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: kind, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: label, N: n})
 		}
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: "join"})
 		jt := newJoinTable(spec)
+		defer func() {
+			switch r := recover().(type) {
+			case nil:
+			case abortSignal:
+				// Scheduler-directed teardown: spool files are dropped
+				// (bookkeeping only — the cheap recovery path), the abort
+				// is acknowledged, and the port closes so queued senders
+				// get their window credits back.
+				jt.dropAllSpools()
+				nose.SendCtl(p, spec.node, spec.sched, abortedMsg{op: spec.opID, site: spec.site})
+				spec.port.Close()
+			case disk.FailedError:
+				// A spool read/write hit a failed drive: report so the
+				// scheduler aborts the attempt without waiting out the
+				// silence timeout.
+				jt.dropAllSpools()
+				nose.SendCtl(p, spec.node, spec.sched, opFailed{op: spec.opID, node: spec.node.ID})
+				spec.port.Close()
+			default:
+				panic(r)
+			}
+		}()
 
 		// Main build phase.
 		phase(trace.KindPhaseStart, "build", 0)
@@ -187,7 +218,10 @@ func spawnJoin(spec joinSpec) {
 			switch jc.kind {
 			case ctlFinish:
 				m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: spec.opID, Node: spec.node.ID, Site: spec.site})
+				spec.port.Close()
 				return
+			case ctlAbort:
+				panic(abortSignal{})
 			case ctlRoundBuild:
 				label := fmt.Sprintf("ovfbuild-%d", jc.level)
 				phase(trace.KindPhaseStart, label, 0)
@@ -231,10 +265,14 @@ func recvStream(p *sim.Proc, port *nose.Port, want streamID, expect int, onPacke
 			}
 			eos++
 		case joinCtl:
-			if pl.kind != ctlProbeClose {
+			switch pl.kind {
+			case ctlProbeClose:
+				expect = pl.expectEOS
+			case ctlAbort:
+				panic(abortSignal{})
+			default:
 				panic("recvStream: unexpected join control")
 			}
-			expect = pl.expectEOS
 		default:
 			panic(fmt.Sprintf("recvStream: unexpected message %T", msg.Payload))
 		}
@@ -513,6 +551,25 @@ func (jt *joinTable) closeDirtySpools(p *sim.Proc) []spoolInfo {
 	}
 	jt.dirtyLevels = make(map[int]bool)
 	return out
+}
+
+// dropAllSpools releases every overflow partition file of an aborted join.
+// Pure bookkeeping — the §4 observation that aborting a "retrieve into"
+// only requires deleting files, so the abort path pays no simulated I/O.
+func (jt *joinTable) dropAllSpools() {
+	var levels []int
+	for l := range jt.spools {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		sp := jt.spools[l]
+		st := jt.spec.m.StoreOf(sp.owner)
+		st.DropFile(sp.build)
+		st.DropFile(sp.probe)
+	}
+	jt.spools = make(map[int]*spoolPair)
+	jt.dirtyLevels = make(map[int]bool)
 }
 
 // buildFilter snapshots the table's keys into a Babb bit-vector filter.

@@ -73,6 +73,11 @@ type Machine struct {
 	nextQID  int
 	rec      *Recovery
 
+	// Fault/failover state (see fault-tolerance methods in fault.go).
+	mirrored bool
+	ftDetect sim.Dur             // operator-silence detection timeout; 0 = failover off
+	procs    map[int][]*sim.Proc // live operator processes per node
+
 	// Trace is the structured event collector, non-nil after EnableTrace.
 	Trace *trace.Collector
 }
@@ -90,6 +95,7 @@ func NewMachine(s *sim.Sim, prm *config.Params, nDisk, nDiskless int) *Machine {
 		Net:     nose.NewNetwork(s, prm.Net, prm.CPU),
 		stores:  make(map[int]*wiss.Store),
 		catalog: make(map[string]*Relation),
+		procs:   make(map[int][]*sim.Proc),
 	}
 	m.Host = m.Net.AddNode(false, prm.Disk)
 	m.Sched = m.Net.AddNode(false, prm.Disk)
@@ -160,7 +166,12 @@ type Relation struct {
 	// 208-byte Wisconsin tuple. Projected result relations are narrower.
 	Width int
 	Frags []*Fragment
-	m     *Machine
+	// Backups, when the machine is mirrored, holds the chained-declustered
+	// replica of each fragment: Backups[i] is a full copy of Frags[i]'s
+	// data and indexes on the next disk node, so the loss of any single
+	// disk node leaves every fragment readable. Nil otherwise.
+	Backups []*Fragment
+	m       *Machine
 }
 
 // width resolves the relation's logical tuple width.
@@ -238,33 +249,51 @@ func (m *Machine) Load(spec LoadSpec, tuples []rel.Tuple) *Relation {
 		}
 		r.Bounds = rangeBounds(spec.Bounds, k)
 		for _, t := range tuples {
-			parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))] = append(parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))], t)
+			j := rangeSite(r.Bounds, t.Get(spec.PartAttr))
+			parts[j] = append(parts[j], t)
 		}
 	case RangeUniform:
 		r.Bounds = uniformBounds(tuples, spec.PartAttr, k)
 		for _, t := range tuples {
-			parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))] = append(parts[rangeSite(r.Bounds, t.Get(spec.PartAttr))], t)
+			j := rangeSite(r.Bounds, t.Get(spec.PartAttr))
+			parts[j] = append(parts[j], t)
 		}
 	}
 	for i, nd := range m.Disk {
-		st := m.stores[nd.ID]
-		f := st.CreateFile(spec.Name)
-		var sortKey *rel.Attr
-		if spec.ClusteredIndex != nil {
-			sortKey = spec.ClusteredIndex
+		r.Frags = append(r.Frags, m.buildFragment(nd, spec.Name, parts[i], spec))
+	}
+	if m.mirrored {
+		// Chained declustering: fragment i's backup lives on disk node
+		// (i+1) mod k, fully indexed, so node i's loss leaves both its
+		// primary (via the backup on i+1) and its backup duty (fragment
+		// i-1's primary on node i-1) covered by distinct survivors.
+		for i := range parts {
+			nd := m.Disk[(i+1)%k]
+			r.Backups = append(r.Backups, m.buildFragment(nd, spec.Name+".bak", parts[i], spec))
 		}
-		f.LoadDirect(parts[i], sortKey)
-		frag := &Fragment{Node: nd, File: f, Indexes: map[rel.Attr]*wiss.BTree{}}
-		if spec.ClusteredIndex != nil {
-			frag.Indexes[*spec.ClusteredIndex] = wiss.NewBTree(f, *spec.ClusteredIndex, wiss.Clustered)
-		}
-		for _, a := range spec.NonClusteredIndexes {
-			frag.Indexes[a] = wiss.NewBTree(f, a, wiss.NonClustered)
-		}
-		r.Frags = append(r.Frags, frag)
 	}
 	m.catalog[spec.Name] = r
 	return r
+}
+
+// buildFragment materializes one fragment — file, optional clustering sort,
+// and indexes — on a disk node (load time is not simulated, §4).
+func (m *Machine) buildFragment(nd *nose.Node, fileName string, tuples []rel.Tuple, spec LoadSpec) *Fragment {
+	st := m.stores[nd.ID]
+	f := st.CreateFile(fileName)
+	var sortKey *rel.Attr
+	if spec.ClusteredIndex != nil {
+		sortKey = spec.ClusteredIndex
+	}
+	f.LoadDirect(tuples, sortKey)
+	frag := &Fragment{Node: nd, File: f, Indexes: map[rel.Attr]*wiss.BTree{}}
+	if spec.ClusteredIndex != nil {
+		frag.Indexes[*spec.ClusteredIndex] = wiss.NewBTree(f, *spec.ClusteredIndex, wiss.Clustered)
+	}
+	for _, a := range spec.NonClusteredIndexes {
+		frag.Indexes[a] = wiss.NewBTree(f, a, wiss.NonClustered)
+	}
+	return frag
 }
 
 // rangeBounds normalizes user bounds to one inclusive upper bound per site,
@@ -297,11 +326,11 @@ func uniformBounds(tuples []rel.Tuple, attr rel.Attr, k int) []int32 {
 	return b
 }
 
+// rangeSite locates the fragment whose inclusive upper bound covers v.
+// Bounds are sorted, so this is a binary search.
 func rangeSite(bounds []int32, v int32) int {
-	for i, b := range bounds {
-		if v <= b {
-			return i
-		}
+	if i := sort.Search(len(bounds), func(i int) bool { return v <= bounds[i] }); i < len(bounds) {
+		return i
 	}
 	return len(bounds) - 1
 }
@@ -321,12 +350,19 @@ func (m *Machine) newResultRelation(name string, width int) *Relation {
 	}
 	slotOverhead := m.Prm.SlotBytes - m.Prm.TupleBytes
 	for _, nd := range m.Disk {
+		if !m.driveUp(nd) {
+			// Degraded mode: results land only on surviving drives.
+			continue
+		}
 		st := m.stores[nd.ID]
 		f := st.CreateFile(name)
 		if r.Width > 0 {
 			f.SlotBytes = r.Width + slotOverhead
 		}
 		r.Frags = append(r.Frags, &Fragment{Node: nd, File: f, Indexes: map[rel.Attr]*wiss.BTree{}})
+	}
+	if len(r.Frags) == 0 {
+		panic("core: no surviving disk node to hold result relation " + name)
 	}
 	m.catalog[name] = r
 	return r
@@ -339,6 +375,9 @@ func (m *Machine) Drop(name string) {
 		return
 	}
 	for _, fr := range r.Frags {
+		m.stores[fr.Node.ID].DropFile(fr.File)
+	}
+	for _, fr := range r.Backups {
 		m.stores[fr.Node.ID].DropFile(fr.File)
 	}
 	delete(m.catalog, name)

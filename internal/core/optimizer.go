@@ -42,7 +42,7 @@ func (m *Machine) scanSites(s ScanSpec) []*Fragment {
 		case Hashed:
 			if pr.Lo == pr.Hi {
 				j := int(rel.Hash64(pr.Lo, LoadSeed) % uint64(len(r.Frags)))
-				return []*Fragment{r.Frags[j]}
+				return []*Fragment{m.liveFrag(r, j)}
 			}
 		case RangeUser, RangeUniform:
 			var out []*Fragment
@@ -51,17 +51,21 @@ func (m *Machine) scanSites(s ScanSpec) []*Fragment {
 				// Fragment i holds keys in (prev, b].
 				fragLo, fragHi := prev+1, int64(b)
 				if int64(pr.Hi) >= fragLo && int64(pr.Lo) <= fragHi {
-					out = append(out, r.Frags[i])
+					out = append(out, m.liveFrag(r, i))
 				}
 				prev = fragHi
 			}
 			if len(out) > 0 {
 				return out
 			}
-			return []*Fragment{r.Frags[0]}
+			return []*Fragment{m.liveFrag(r, 0)}
 		}
 	}
-	return append([]*Fragment(nil), r.Frags...)
+	out := make([]*Fragment, len(r.Frags))
+	for i := range r.Frags {
+		out[i] = m.liveFrag(r, i)
+	}
+	return out
 }
 
 // PropagateSelection applies the optimizer rewrite the paper describes for

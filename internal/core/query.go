@@ -80,30 +80,49 @@ func (m *Machine) initOp(p *sim.Proc, node *nose.Node) {
 	m.Sched.CPU.Use(p, sim.Dur(n)*m.Prm.Net.CtlMsg)
 }
 
-// JoinNodes returns the processors that execute join operators in a mode.
+// JoinNodes returns the processors that execute join operators in a mode,
+// excluding crashed nodes (a node with only a failed drive still joins; its
+// spooling was re-pointed at a surviving drive).
 func (m *Machine) JoinNodes(mode JoinMode) []*nose.Node {
+	var cand []*nose.Node
 	switch mode {
 	case Local:
-		return m.Disk
+		cand = m.Disk
 	case Remote:
 		if len(m.Diskless) > 0 {
-			return m.Diskless
+			cand = m.Diskless
+		} else {
+			cand = m.Disk
 		}
-		return m.Disk
 	default:
-		return append(append([]*nose.Node(nil), m.Disk...), m.Diskless...)
+		cand = append(append([]*nose.Node(nil), m.Disk...), m.Diskless...)
 	}
+	out := make([]*nose.Node, 0, len(cand))
+	for _, nd := range cand {
+		if !nd.Failed() {
+			out = append(out, nd)
+		}
+	}
+	if len(out) == 0 {
+		panic("core: no surviving processor to run join operators")
+	}
+	return out
 }
 
 // inbox buffers the scheduler's incoming control messages by kind so phases
 // can await specific completions while unrelated reports arrive interleaved.
+// Completion reports are keyed by operator id; failover retries re-dispatch
+// under attempt-tagged ids (".r1", ".r2", ...), so a straggling report from
+// an aborted attempt can never satisfy a later attempt's wait.
 type inbox struct {
 	p        *sim.Proc
 	port     *nose.Port
+	ft       *queryFT // non-nil when mid-query failover is armed
 	dones    map[string][]doneMsg
 	builts   map[string][]builtMsg
 	probeds  map[string][]probedMsg
-	stores   []storeDone
+	stores   map[string][]storeDone
+	acked    map[string]map[int]bool // abort acks: op -> sites acked
 	aggParts []aggPartial
 	aggDones []aggDone
 	updDones []updateDone
@@ -116,11 +135,56 @@ func newInbox(p *sim.Proc, port *nose.Port) *inbox {
 		dones:   map[string][]doneMsg{},
 		builts:  map[string][]builtMsg{},
 		probeds: map[string][]probedMsg{},
+		stores:  map[string][]storeDone{},
+		acked:   map[string]map[int]bool{},
 	}
 }
 
-func (ib *inbox) pump() {
-	msg := ib.port.Recv(ib.p)
+// errSiteFailed reports mid-query loss of operator sites; the scheduler's
+// attempt loop catches it, aborts, and replans against backup fragments.
+type errSiteFailed struct{ sites []int }
+
+func (e errSiteFailed) Error() string {
+	return fmt.Sprintf("disk site(s) %v failed mid-query", e.sites)
+}
+
+// opFailed is an operator's report that a disk access raised a drive
+// failure. Unlike a node crash (detected by scheduler timeout), a drive
+// failure leaves the processor able to report, so detection is immediate.
+type opFailed struct {
+	op   string
+	node int
+}
+
+// abortedMsg acknowledges a ctlAbort/storeAbort: the operator has dropped
+// its buffered work and closed its port.
+type abortedMsg struct {
+	op   string
+	site int
+}
+
+// pump receives and files one control message. With failover armed, the
+// receive times out after the detection interval: a timeout with a failure
+// newer than the attempt's snapshot (or an explicit opFailed report from an
+// operator that lost its drive) returns errSiteFailed; a timeout with
+// nothing newly failed is a quiet phase of a healthy run, and the wait
+// simply continues.
+func (ib *inbox) pump() error {
+	var msg nose.Message
+	if ib.ft != nil {
+		for {
+			var ok bool
+			msg, ok = ib.port.RecvTimeout(ib.p, ib.ft.detect)
+			if ok {
+				break
+			}
+			if failed := ib.ft.newlyFailed(); len(failed) > 0 {
+				return errSiteFailed{sites: failed}
+			}
+		}
+	} else {
+		msg = ib.port.Recv(ib.p)
+	}
 	switch pl := msg.Payload.(type) {
 	case doneMsg:
 		ib.dones[pl.op] = append(ib.dones[pl.op], pl)
@@ -129,7 +193,24 @@ func (ib *inbox) pump() {
 	case probedMsg:
 		ib.probeds[pl.op] = append(ib.probeds[pl.op], pl)
 	case storeDone:
-		ib.stores = append(ib.stores, pl)
+		ib.stores[pl.op] = append(ib.stores[pl.op], pl)
+	case opFailed:
+		if ib.ft == nil {
+			panic(fmt.Sprintf("core: operator %s on node %d lost its drive (failover not enabled)", pl.op, pl.node))
+		}
+		// Actionable only while a failure is newer than the attempt's
+		// snapshot; afterwards it is a straggling report from an attempt
+		// already aborted for that same failure.
+		if failed := ib.ft.newlyFailed(); len(failed) > 0 {
+			return errSiteFailed{sites: failed}
+		}
+	case abortedMsg:
+		acks := ib.acked[pl.op]
+		if acks == nil {
+			acks = map[int]bool{}
+			ib.acked[pl.op] = acks
+		}
+		acks[pl.site] = true
 	case aggPartial:
 		ib.aggParts = append(ib.aggParts, pl)
 	case aggDone:
@@ -139,11 +220,20 @@ func (ib *inbox) pump() {
 	default:
 		panic(fmt.Sprintf("scheduler: unexpected message %T", msg.Payload))
 	}
+	return nil
+}
+
+// mustPump is pump for query types that do not participate in failover
+// (aggregates, updates, sorts): a site failure there is fatal.
+func (ib *inbox) mustPump() {
+	if err := ib.pump(); err != nil {
+		panic("core: " + err.Error() + " (query type does not support failover)")
+	}
 }
 
 func (ib *inbox) waitAgg() aggDone {
 	for len(ib.aggDones) == 0 {
-		ib.pump()
+		ib.mustPump()
 	}
 	out := ib.aggDones[0]
 	ib.aggDones = ib.aggDones[1:]
@@ -152,7 +242,7 @@ func (ib *inbox) waitAgg() aggDone {
 
 func (ib *inbox) waitAggPartial() aggPartial {
 	for len(ib.aggParts) == 0 {
-		ib.pump()
+		ib.mustPump()
 	}
 	out := ib.aggParts[0]
 	ib.aggParts = ib.aggParts[1:]
@@ -161,47 +251,165 @@ func (ib *inbox) waitAggPartial() aggPartial {
 
 func (ib *inbox) waitUpdates(n int) []updateDone {
 	for len(ib.updDones) < n {
-		ib.pump()
+		ib.mustPump()
 	}
 	out := ib.updDones
 	ib.updDones = nil
 	return out
 }
 
-func (ib *inbox) waitDones(op string, n int) []doneMsg {
+func (ib *inbox) waitDones(op string, n int) ([]doneMsg, error) {
 	for len(ib.dones[op]) < n {
-		ib.pump()
+		if err := ib.pump(); err != nil {
+			return nil, err
+		}
+	}
+	out := ib.dones[op]
+	delete(ib.dones, op)
+	return out, nil
+}
+
+func (ib *inbox) waitBuilts(op string, n int) ([]builtMsg, error) {
+	for len(ib.builts[op]) < n {
+		if err := ib.pump(); err != nil {
+			return nil, err
+		}
+	}
+	out := ib.builts[op]
+	delete(ib.builts, op)
+	return out, nil
+}
+
+func (ib *inbox) waitProbeds(op string, n int) ([]probedMsg, error) {
+	for len(ib.probeds[op]) < n {
+		if err := ib.pump(); err != nil {
+			return nil, err
+		}
+	}
+	out := ib.probeds[op]
+	delete(ib.probeds, op)
+	return out, nil
+}
+
+func (ib *inbox) waitStores(op string, n int) ([]storeDone, error) {
+	for len(ib.stores[op]) < n {
+		if err := ib.pump(); err != nil {
+			return nil, err
+		}
+	}
+	out := ib.stores[op]
+	delete(ib.stores, op)
+	return out, nil
+}
+
+// mustDones is waitDones for non-failover query types.
+func (ib *inbox) mustDones(op string, n int) []doneMsg {
+	for len(ib.dones[op]) < n {
+		ib.mustPump()
 	}
 	out := ib.dones[op]
 	delete(ib.dones, op)
 	return out
 }
 
-func (ib *inbox) waitBuilts(op string, n int) []builtMsg {
-	for len(ib.builts[op]) < n {
-		ib.pump()
+// mustStores is waitStores for non-failover query types.
+func (ib *inbox) mustStores(op string, n int) []storeDone {
+	for len(ib.stores[op]) < n {
+		ib.mustPump()
 	}
-	out := ib.builts[op]
-	delete(ib.builts, op)
+	out := ib.stores[op]
+	delete(ib.stores, op)
 	return out
 }
 
-func (ib *inbox) waitProbeds(op string, n int) []probedMsg {
-	for len(ib.probeds[op]) < n {
-		ib.pump()
+// waitAborts blocks until every port in the list has either acknowledged
+// the abort (an abortedMsg for op from its site index) or closed without
+// acknowledging (its node crashed, or its operator died of a drive failure
+// — both close the port). Failures reported meanwhile are absorbed: the
+// retry replans from fresh machine state anyway.
+func (ib *inbox) waitAborts(op string, ports []*nose.Port) {
+	for {
+		settled := true
+		for i, pt := range ports {
+			if !pt.Closed() && !ib.acked[op][i] {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			delete(ib.acked, op)
+			return
+		}
+		_ = ib.pump()
 	}
-	out := ib.probeds[op]
-	delete(ib.probeds, op)
+}
+
+// queryFT is one query's failover state: the detection timeout, the attempt
+// counter, and a snapshot of disk-site health taken when the attempt was
+// planned, so the scheduler can tell a fresh failure from one it already
+// planned around.
+type queryFT struct {
+	m       *Machine
+	detect  sim.Dur
+	attempt int
+	snap    []bool
+}
+
+// newQueryFT returns failover state for one query, or nil when failover is
+// not armed on the machine.
+func (m *Machine) newQueryFT() *queryFT {
+	if m.ftDetect <= 0 {
+		return nil
+	}
+	return &queryFT{m: m, detect: m.ftDetect}
+}
+
+// resnap records disk-site health at the start of an attempt.
+func (ft *queryFT) resnap() {
+	ft.snap = ft.snap[:0]
+	for _, nd := range ft.m.Disk {
+		ft.snap = append(ft.snap, ft.m.driveUp(nd))
+	}
+}
+
+// newlyFailed lists disk sites lost since the attempt's snapshot.
+func (ft *queryFT) newlyFailed() []int {
+	var out []int
+	for i, nd := range ft.m.Disk {
+		if ft.snap[i] && !ft.m.driveUp(nd) {
+			out = append(out, i)
+		}
+	}
 	return out
 }
 
-func (ib *inbox) waitStores(n int) []storeDone {
-	for len(ib.stores) < n {
-		ib.pump()
+// tag returns the attempt suffix for operator ids: "" for the first attempt
+// (so healthy runs are byte-identical to a machine without failover), ".rN"
+// for retries.
+func (ib *inbox) tag() string {
+	if ib.ft == nil || ib.ft.attempt == 0 {
+		return ""
 	}
-	out := ib.stores
-	ib.stores = nil
-	return out
+	return fmt.Sprintf(".r%d", ib.ft.attempt)
+}
+
+// beginAttempt snapshots machine health and emits the retry marker for
+// re-dispatches. It panics if attempts exceed the disk-site count — more
+// failures than sites means something other than hardware loss is wrong.
+func (ib *inbox) beginAttempt(m *Machine, res *Result) {
+	if ib.ft == nil {
+		return
+	}
+	if ib.ft.attempt > len(m.Disk) {
+		panic("core: failover retries exceeded disk site count")
+	}
+	ib.ft.resnap()
+	if ib.ft.attempt > 0 {
+		m.Sim.Emit(trace.Event{
+			At: int64(m.Sim.Now()), Kind: trace.KindFailover, Class: "retry",
+			Query: res.Query, N: ib.ft.attempt,
+		})
+	}
 }
 
 // launchQuery spawns the host and scheduler processes around `body` without
@@ -218,6 +426,7 @@ func (m *Machine) launchQuery(res *Result, body func(p *sim.Proc, ib *inbox, sch
 	m.Sim.Spawn("scheduler", func(p *sim.Proc) {
 		schedPort.Recv(p) // the compiled query arrives from the host
 		ib := newInbox(p, schedPort)
+		ib.ft = m.newQueryFT()
 		body(p, ib, schedPort)
 		nose.SendCtl(p, m.Sched, hostPort, "done")
 	})
@@ -253,35 +462,93 @@ func (m *Machine) runQuery(res *Result, body func(p *sim.Proc, ib *inbox, schedP
 	m.diagnose(res)
 }
 
-// setupStores creates the result relation (unless toHost), initiates one
-// store operator per disk node (or a host collector), and returns the
-// destination ports plus a closure that closes them with the final EOS count.
-func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res *Result, resultName string, toHost bool, width int) (ports []*nose.Port, closeStores func(expectEOS int) int) {
+// storeSet is one attempt's result-storage operators: the (attempt-tagged)
+// operator id and the destination ports.
+type storeSet struct {
+	op    string
+	ports []*nose.Port
+}
+
+// setupStores creates the result relation (unless toHost) and initiates one
+// store operator per surviving disk node, or a host collector.
+func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res *Result, resultName string, toHost bool, width int) *storeSet {
+	ss := &storeSet{op: "store" + ib.tag()}
 	if toHost {
-		colPort := m.Host.NewPort("collect")
-		spawnCollector(m, "collect", m.Host, colPort, schedPort, nil)
-		ports = []*nose.Port{colPort}
-	} else {
-		resRel := m.newResultRelation(resultName, width)
-		res.ResultName = resRel.Name
-		for i, nd := range m.Disk {
-			pt := nd.NewPort(fmt.Sprintf("store%d", i))
-			m.initOp(p, nd)
-			spawnStore(m, "store", i, resRel.Frags[i], pt, schedPort)
-			ports = append(ports, pt)
+		colPort := m.Host.NewPort(ss.op)
+		spawnCollector(m, ss.op, m.Host, colPort, schedPort, nil)
+		ss.ports = []*nose.Port{colPort}
+		return ss
+	}
+	resRel := m.newResultRelation(resultName, width)
+	res.ResultName = resRel.Name
+	for i, frag := range resRel.Frags {
+		pt := frag.Node.NewPort(fmt.Sprintf("%s%d", ss.op, i))
+		m.initOp(p, frag.Node)
+		spawnStore(m, ss.op, i, frag, pt, schedPort)
+		ss.ports = append(ss.ports, pt)
+	}
+	return ss
+}
+
+// close sends the final EOS count to every store and awaits their reports,
+// returning the total tuples stored.
+func (ss *storeSet) close(m *Machine, p *sim.Proc, ib *inbox, expectEOS int) (int, error) {
+	for _, pt := range ss.ports {
+		nose.SendCtl(p, m.Sched, pt, storeClose{expectEOS: expectEOS})
+	}
+	sds, err := ib.waitStores(ss.op, len(ss.ports))
+	if err != nil {
+		return 0, err
+	}
+	stored := 0
+	for _, sd := range sds {
+		stored += sd.stored
+	}
+	return stored, nil
+}
+
+// abortAttempt tears down a failed query attempt: surviving operators are
+// told to abort, their acknowledgements (or port closures — a crashed
+// operator cannot acknowledge) are awaited, and the partial result relation
+// is dropped, the paper's §4 cheap recovery path for "retrieve into". The
+// next attempt then replans against backup fragments under a fresh tag.
+func (m *Machine) abortAttempt(p *sim.Proc, ib *inbox, res *Result, stages []*stage, ss *storeSet) {
+	m.Sim.Emit(trace.Event{
+		At: int64(m.Sim.Now()), Kind: trace.KindFailover, Class: "abort",
+		Query: res.Query, N: ib.ft.attempt,
+	})
+	for _, st := range stages {
+		if st == nil {
+			continue
+		}
+		for _, pt := range st.ports {
+			if !pt.Closed() {
+				nose.SendCtl(p, m.Sched, pt, joinCtl{kind: ctlAbort})
+			}
 		}
 	}
-	closeStores = func(expectEOS int) int {
-		for _, pt := range ports {
-			nose.SendCtl(p, m.Sched, pt, storeClose{expectEOS: expectEOS})
+	for _, pt := range ss.ports {
+		if !pt.Closed() {
+			nose.SendCtl(p, m.Sched, pt, storeAbort{})
 		}
-		stored := 0
-		for _, sd := range ib.waitStores(len(ports)) {
-			stored += sd.stored
-		}
-		return stored
 	}
-	return ports, closeStores
+	for _, st := range stages {
+		if st != nil {
+			ib.waitAborts(st.opID, st.ports)
+		}
+	}
+	ib.waitAborts(ss.op, ss.ports)
+	// Straggling completion reports from the dead attempt are keyed under
+	// its tag and can never match a later wait; free them.
+	ib.dones = map[string][]doneMsg{}
+	ib.builts = map[string][]builtMsg{}
+	ib.probeds = map[string][]probedMsg{}
+	ib.stores = map[string][]storeDone{}
+	if res.ResultName != "" {
+		m.Drop(res.ResultName)
+		res.ResultName = ""
+	}
+	ib.ft.attempt++
 }
 
 // RunSelect executes a selection query (§5).
@@ -291,7 +558,9 @@ func (m *Machine) RunSelect(q SelectQuery) Result {
 	return res
 }
 
-// selectBody builds the scheduler program for a selection query.
+// selectBody builds the scheduler program for a selection query: an attempt
+// loop that re-dispatches against backup fragments after a mid-query site
+// failure.
 func (m *Machine) selectBody(q SelectQuery, res *Result) func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
 	scan := m.resolveScan(q.Scan)
 	width := scan.Rel.width(m)
@@ -299,28 +568,52 @@ func (m *Machine) selectBody(q SelectQuery, res *Result) func(p *sim.Proc, ib *i
 		width = 4 * len(q.Project)
 	}
 	return func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
-		storePorts, closeStores := m.setupStores(p, ib, schedPort, res, q.ResultName, q.ToHost, width)
-		frags := m.scanSites(scan)
-		for si, frag := range frags {
-			m.initOp(p, frag.Node)
-			spawnSelect(m, "select", si, frag, scan.Pred, scan.Path, func() selectOutput {
-				return selectOutput{
-					stream: streamStore, ports: storePorts, route: RRRoute(len(storePorts)),
-					width: width, project: q.Project,
-				}
-			}, schedPort)
+		for !m.trySelect(p, ib, schedPort, q, res, scan, width) {
+		}
+	}
+}
+
+// trySelect runs one attempt of a selection; false means the attempt hit a
+// site failure, was aborted, and should be retried.
+func (m *Machine) trySelect(p *sim.Proc, ib *inbox, schedPort *nose.Port, q SelectQuery, res *Result, scan ScanSpec, width int) bool {
+	ib.beginAttempt(m, res)
+	ss := m.setupStores(p, ib, schedPort, res, q.ResultName, q.ToHost, width)
+	selOp := "select" + ib.tag()
+	frags := m.scanSites(scan)
+	for si, frag := range frags {
+		m.initOp(p, frag.Node)
+		spawnSelect(m, selOp, si, frag, scan.Pred, scan.Path, func() selectOutput {
+			return selectOutput{
+				stream: streamStore, ports: ss.ports, route: RRRoute(len(ss.ports)),
+				width: width, project: q.Project,
+			}
+		}, schedPort)
+	}
+	err := func() error {
+		dones, err := ib.waitDones(selOp, len(frags))
+		if err != nil {
+			return err
 		}
 		produced := 0
-		for _, d := range ib.waitDones("select", len(frags)) {
+		for _, d := range dones {
 			produced += d.produced
 		}
-		stored := closeStores(len(frags))
+		stored, err := ss.close(m, p, ib, len(frags))
+		if err != nil {
+			return err
+		}
 		if q.ToHost {
 			res.Tuples = produced
 		} else {
 			res.Tuples = stored
 		}
+		return nil
+	}()
+	if err == nil {
+		return true
 	}
+	m.abortAttempt(p, ib, res, nil, ss)
+	return false
 }
 
 // stage tracks one hash join's sites and overflow state at the scheduler.
@@ -373,7 +666,7 @@ func (st *stage) absorb(reports []probedMsg) {
 // runRounds drains the stage's overflow partitions: for each pending level,
 // every site's build spool is redistributed with a fresh hash function and
 // rebuilt, then the probe spools are redistributed and probed (§6.2.2).
-func (m *Machine) runRounds(p *sim.Proc, ib *inbox, schedPort *nose.Port, st *stage) {
+func (m *Machine) runRounds(p *sim.Proc, ib *inbox, schedPort *nose.Port, st *stage) error {
 	nJ := len(st.nodes)
 	for len(st.pending) > 0 {
 		levels := make([]int, 0, len(st.pending))
@@ -405,8 +698,12 @@ func (m *Machine) runRounds(p *sim.Proc, ib *inbox, schedPort *nose.Port, st *st
 				return selectOutput{stream: roundStream(l, false), ports: st.ports, route: HashRoute(st.buildAttr, roundSeed(l), nJ)}
 			}, schedPort)
 		}
-		ib.waitDones(st.opID+".ovfbuild", nJ)
-		ib.waitBuilts(st.opID, nJ)
+		if _, err := ib.waitDones(st.opID+".ovfbuild", nJ); err != nil {
+			return err
+		}
+		if _, err := ib.waitBuilts(st.opID, nJ); err != nil {
+			return err
+		}
 
 		// Round probe: redistribute probe spools likewise.
 		for si := range st.nodes {
@@ -423,9 +720,16 @@ func (m *Machine) runRounds(p *sim.Proc, ib *inbox, schedPort *nose.Port, st *st
 				return selectOutput{stream: roundStream(l, true), ports: st.ports, route: HashRoute(st.probeAttr, roundSeed(l), nJ)}
 			}, schedPort)
 		}
-		ib.waitDones(st.opID+".ovfprobe", nJ)
-		st.absorb(ib.waitProbeds(st.opID, nJ))
+		if _, err := ib.waitDones(st.opID+".ovfprobe", nJ); err != nil {
+			return err
+		}
+		probeds, err := ib.waitProbeds(st.opID, nJ)
+		if err != nil {
+			return err
+		}
+		st.absorb(probeds)
 	}
+	return nil
 }
 
 // finish releases a stage's join operators.
@@ -442,7 +746,8 @@ func (m *Machine) RunJoin(q JoinQuery) Result {
 	return res
 }
 
-// joinBody builds the scheduler program for a join query.
+// joinBody builds the scheduler program for a join query: an attempt loop
+// that replans join sites and scan fragments after a mid-query site failure.
 func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
 	build := m.resolveScan(q.Build)
 	probe := m.resolveScan(q.Probe)
@@ -450,12 +755,23 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 	if q.Build2 != nil {
 		build2 = m.resolveScan(*q.Build2)
 	}
-	joinNodes := m.JoinNodes(q.Mode)
-	nJ := len(joinNodes)
 	memPer := q.MemPerJoinBytes
 	if memPer <= 0 {
 		memPer = m.Prm.Memory.JoinTableBytes
 	}
+	return func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
+		for !m.tryJoin(p, ib, schedPort, q, res, build, probe, build2, memPer) {
+		}
+	}
+}
+
+// tryJoin runs one attempt of a join query; false means the attempt hit a
+// site failure, was aborted, and should be retried against the survivors.
+func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQuery, res *Result, build, probe, build2 ScanSpec, memPer int) bool {
+	ib.beginAttempt(m, res)
+	tag := ib.tag()
+	joinNodes := m.JoinNodes(q.Mode)
+	nJ := len(joinNodes)
 	// Hybrid hash join plans its partition count from the optimizer's
 	// estimate of the per-site build size.
 	hybridParts := 0
@@ -466,40 +782,43 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 		}
 	}
 
-	return func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
-		storePorts, closeStores := m.setupStores(p, ib, schedPort, res, q.ResultName, false, 0)
-
+	ss := m.setupStores(p, ib, schedPort, res, q.ResultName, false, 0)
+	var st1, st2 *stage
+	err := func() error {
 		// Optional second stage, built first so stage one can stream
 		// into it.
-		var st2 *stage
 		if q.Build2 != nil {
-			st2 = m.newStage("join2", joinNodes, q.Build2Attr, q.Probe2Attr)
+			st2 = m.newStage("join2"+tag, joinNodes, q.Build2Attr, q.Probe2Attr)
 			b2frags := m.scanSites(build2)
 			for si, nd := range joinNodes {
 				m.initOp(p, nd)
 				spawnJoin(joinSpec{
-					m: m, opID: "join2", site: si, node: nd, port: st2.ports[si], sched: schedPort,
+					m: m, opID: st2.opID, site: si, node: nd, port: st2.ports[si], sched: schedPort,
 					buildAttr: q.Build2Attr, probeAttr: q.Probe2Attr,
 					nSites: nJ, nBuild: len(b2frags), nProbe: -1, memBytes: memPer,
-					outStream: streamStore, outPorts: storePorts,
-					mkOutRoute: func() RouteFn { return RRRoute(len(storePorts)) },
+					outStream: streamStore, outPorts: ss.ports,
+					mkOutRoute: func() RouteFn { return RRRoute(len(ss.ports)) },
 				})
 			}
 			for si, frag := range b2frags {
 				m.initOp(p, frag.Node)
-				spawnSelect(m, "sel-build2", si, frag, build2.Pred, build2.Path, func() selectOutput {
+				spawnSelect(m, "sel-build2"+tag, si, frag, build2.Pred, build2.Path, func() selectOutput {
 					return selectOutput{stream: streamBuild, ports: st2.ports, route: HashRoute(q.Build2Attr, LoadSeed, nJ)}
 				}, schedPort)
 			}
-			ib.waitDones("sel-build2", len(b2frags))
-			ib.waitBuilts("join2", nJ)
+			if _, err := ib.waitDones("sel-build2"+tag, len(b2frags)); err != nil {
+				return err
+			}
+			if _, err := ib.waitBuilts(st2.opID, nJ); err != nil {
+				return err
+			}
 		}
 
 		// Stage one join operators.
-		st1 := m.newStage("join1", joinNodes, q.BuildAttr, q.ProbeAttr)
-		outPorts := storePorts
+		st1 = m.newStage("join1"+tag, joinNodes, q.BuildAttr, q.ProbeAttr)
+		outPorts := ss.ports
 		outStream := streamStore
-		mkOutRoute := func() RouteFn { return RRRoute(len(storePorts)) }
+		mkOutRoute := func() RouteFn { return RRRoute(len(ss.ports)) }
 		if st2 != nil {
 			outPorts = st2.ports
 			outStream = streamProbe
@@ -510,7 +829,7 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 		for si, nd := range joinNodes {
 			m.initOp(p, nd)
 			spawnJoin(joinSpec{
-				m: m, opID: "join1", site: si, node: nd, port: st1.ports[si], sched: schedPort,
+				m: m, opID: st1.opID, site: si, node: nd, port: st1.ports[si], sched: schedPort,
 				buildAttr: q.BuildAttr, probeAttr: q.ProbeAttr,
 				nSites: nJ, nBuild: len(bfrags), nProbe: len(pfrags), memBytes: memPer,
 				outStream: outStream, outPorts: outPorts, mkOutRoute: mkOutRoute,
@@ -522,12 +841,17 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 		// Build selections.
 		for si, frag := range bfrags {
 			m.initOp(p, frag.Node)
-			spawnSelect(m, "sel-build", si, frag, build.Pred, build.Path, func() selectOutput {
+			spawnSelect(m, "sel-build"+tag, si, frag, build.Pred, build.Path, func() selectOutput {
 				return selectOutput{stream: streamBuild, ports: st1.ports, route: HashRoute(q.BuildAttr, LoadSeed, nJ)}
 			}, schedPort)
 		}
-		ib.waitDones("sel-build", len(bfrags))
-		builts := ib.waitBuilts("join1", nJ)
+		if _, err := ib.waitDones("sel-build"+tag, len(bfrags)); err != nil {
+			return err
+		}
+		builts, err := ib.waitBuilts(st1.opID, nJ)
+		if err != nil {
+			return err
+		}
 
 		// Probe selections, with Babb filters if every site produced one.
 		filters := make([]*BitFilter, nJ)
@@ -542,7 +866,7 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 		for si, frag := range pfrags {
 			m.initOp(p, frag.Node)
 			fr := frag
-			spawnSelect(m, "sel-probe", si, fr, probe.Pred, probe.Path, func() selectOutput {
+			spawnSelect(m, "sel-probe"+tag, si, fr, probe.Pred, probe.Path, func() selectOutput {
 				out := selectOutput{stream: streamProbe, ports: st1.ports, route: HashRoute(q.ProbeAttr, LoadSeed, nJ)}
 				if haveFilters {
 					out.filters = filters
@@ -551,11 +875,19 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 				return out
 			}, schedPort)
 		}
-		ib.waitDones("sel-probe", len(pfrags))
-		st1.absorb(ib.waitProbeds("join1", nJ))
+		if _, err := ib.waitDones("sel-probe"+tag, len(pfrags)); err != nil {
+			return err
+		}
+		probeds, err := ib.waitProbeds(st1.opID, nJ)
+		if err != nil {
+			return err
+		}
+		st1.absorb(probeds)
 
 		// Stage-one overflow rounds, then release its operators.
-		m.runRounds(p, ib, schedPort, st1)
+		if err := m.runRounds(p, ib, schedPort, st1); err != nil {
+			return err
+		}
 		m.finishStage(p, st1)
 
 		finalStage := st1
@@ -563,25 +895,42 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 			for _, pt := range st2.ports {
 				nose.SendCtl(p, m.Sched, pt, joinCtl{kind: ctlProbeClose, expectEOS: nJ * st1.phases})
 			}
-			st2.absorb(ib.waitProbeds("join2", nJ))
-			m.runRounds(p, ib, schedPort, st2)
+			probeds2, err := ib.waitProbeds(st2.opID, nJ)
+			if err != nil {
+				return err
+			}
+			st2.absorb(probeds2)
+			if err := m.runRounds(p, ib, schedPort, st2); err != nil {
+				return err
+			}
 			m.finishStage(p, st2)
 			finalStage = st2
 		}
 
-		res.Tuples = closeStores(nJ * finalStage.phases)
+		stored, err := ss.close(m, p, ib, nJ*finalStage.phases)
+		if err != nil {
+			return err
+		}
+		res.Tuples = stored
 		res.OverflowPerSite = append(st1.perSite[:0:0], st1.perSite...)
 		if st2 != nil {
 			for i, v := range st2.perSite {
 				res.OverflowPerSite[i] += v
 			}
 		}
+		res.Overflows = 0
 		for _, v := range res.OverflowPerSite {
 			if v > res.Overflows {
 				res.Overflows = v
 			}
 		}
+		return nil
+	}()
+	if err == nil {
+		return true
 	}
+	m.abortAttempt(p, ib, res, []*stage{st1, st2}, ss)
+	return false
 }
 
 // ConcurrentQuery is one member of a multiuser workload: exactly one of the

@@ -24,7 +24,10 @@ type Recovery struct {
 	// Stats.
 	Records  int64
 	LogBytes int64
-	Flushes  int64
+	// Flushes counts every log page shipped to the server; Forces counts
+	// the subset that were synchronous commit-point flushes.
+	Flushes int64
+	Forces  int64
 }
 
 // logRecordHeader is the per-record framing overhead.
@@ -61,32 +64,33 @@ func (m *Machine) logRecord(p *sim.Proc, node *nose.Node, payload int) {
 		return
 	}
 	r.pending[node.ID] = 0
-	r.flush(p, node)
+	r.flush(p, node, false)
 }
 
-// flush sends one log page from node to the server.
-func (r *Recovery) flush(p *sim.Proc, node *nose.Node) {
+// flush sends one log page from node to the server. A forced flush (commit
+// point) is synchronous — the committing operator waits for the server's CPU
+// and the log write; a background flush charges both asynchronously.
+func (r *Recovery) flush(p *sim.Proc, node *nose.Node, force bool) {
 	m := r.m
 	r.Flushes++
 	m.Net.TransferBulk(p, node, r.Server, m.Prm.PageBytes)
-	r.Server.CPU.UseAsync(m.Prm.CPU.Time(m.Prm.Engine.InstrPerPageIO))
-	r.Server.Drive.WriteAsync(-7, r.logPage, m.Prm.PageBytes)
+	if force {
+		r.Forces++
+		r.Server.UseCPU(p, m.Prm.Engine.InstrPerPageIO)
+		r.Server.Drive.Write(p, -7, r.logPage, m.Prm.PageBytes)
+	} else {
+		r.Server.CPU.UseAsync(m.Prm.CPU.Time(m.Prm.Engine.InstrPerPageIO))
+		r.Server.Drive.WriteAsync(-7, r.logPage, m.Prm.PageBytes)
+	}
 	r.logPage++
 }
 
-// logForce flushes any buffered records from node (commit point). The forced
-// write is synchronous: the committing operator waits for the log.
+// logForce flushes any buffered records from node (commit point).
 func (m *Machine) logForce(p *sim.Proc, node *nose.Node) {
 	r := m.rec
-	if r == nil {
+	if r == nil || r.pending[node.ID] == 0 {
 		return
 	}
-	if r.pending[node.ID] > 0 {
-		r.pending[node.ID] = 0
-		r.Flushes++
-		m.Net.TransferBulk(p, node, r.Server, m.Prm.PageBytes)
-		r.Server.UseCPU(p, m.Prm.Engine.InstrPerPageIO)
-		r.Server.Drive.Write(p, -7, r.logPage, m.Prm.PageBytes)
-		r.logPage++
-	}
+	r.pending[node.ID] = 0
+	r.flush(p, node, true)
 }

@@ -73,3 +73,19 @@ func TestEnableRecoveryIdempotent(t *testing.T) {
 		t.Error("EnableRecovery allocated two servers")
 	}
 }
+
+func TestRecoveryCountsForces(t *testing.T) {
+	m, r := newMachineWithRel(4, 0, 2000)
+	rec := m.EnableRecovery()
+	m.RunSelect(SelectQuery{
+		Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 199), Path: PathHeap},
+	})
+	// Every store operator forces its tail page at commit; background
+	// page-boundary flushes are counted but not forced.
+	if rec.Forces == 0 {
+		t.Error("no forced flushes recorded at commit points")
+	}
+	if rec.Forces > rec.Flushes {
+		t.Errorf("Forces (%d) exceeds total Flushes (%d)", rec.Forces, rec.Flushes)
+	}
+}

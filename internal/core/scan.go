@@ -71,7 +71,8 @@ type doneMsg struct {
 // routeMaker is called inside the operator to build its split table (so
 // round-robin counters are per-operator, as in Gamma).
 func spawnSelect(m *Machine, opID string, site int, frag *Fragment, pred rel.Pred, path AccessPath, mkOut func() selectOutput, sched *nose.Port) {
-	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+	m.spawnOn(frag.Node, fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+		defer reportDriveLoss(m, p, frag.Node, opID, sched)
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: frag.Node.ID, Site: site, Class: path.String()})
 		out := mkOut()
 		split := newSplitTable(frag.Node, m.Prm, out.stream, out.ports, out.route)
@@ -183,7 +184,8 @@ func nonClusteredSelect(p *sim.Proc, m *Machine, frag *Fragment, pred rel.Pred, 
 // (resident on `owner`, possibly a different node) through a split table —
 // the redistribution step of join-overflow resolution (§6.2.2).
 func spawnSpoolScan(m *Machine, opID string, site int, file *wiss.File, owner, reader *nose.Node, mkOut func() selectOutput, sched *nose.Port) {
-	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, reader.ID), func(p *sim.Proc) {
+	m.spawnOn(reader, fmt.Sprintf("%s@%d", opID, reader.ID), func(p *sim.Proc) {
+		defer reportDriveLoss(m, p, reader, opID, sched)
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: reader.ID, Site: site, Class: "spool-scan"})
 		out := mkOut()
 		split := newSplitTable(reader, m.Prm, out.stream, out.ports, out.route)

@@ -48,7 +48,7 @@ func (m *Machine) RunSort(q SortQuery) Result {
 		for si, frag := range frags {
 			m.initOp(p, frag.Node)
 			site, fr := si, frag
-			m.Sim.Spawn(fmt.Sprintf("sort@%d", fr.Node.ID), func(sp *sim.Proc) {
+			m.spawnOn(fr.Node, fmt.Sprintf("sort@%d", fr.Node.ID), func(sp *sim.Proc) {
 				st := m.StoreOf(fr.Node)
 				qual := st.CreateFile("sort.qual")
 				ap := qual.NewAppender()
@@ -64,7 +64,7 @@ func (m *Machine) RunSort(q SortQuery) Result {
 		// Phase 2: merge the runs at one site, reading remote run pages
 		// over the network, and store the ordered result locally.
 		m.initOp(p, mergeNode)
-		m.Sim.Spawn(fmt.Sprintf("merge@%d", mergeNode.ID), func(mp *sim.Proc) {
+		m.spawnOn(mergeNode, fmt.Sprintf("merge@%d", mergeNode.ID), func(mp *sim.Proc) {
 			runs := make([]sortedRun, 0, len(frags))
 			for len(runs) < len(frags) {
 				msg := mergePort.Recv(mp)
@@ -81,11 +81,11 @@ func (m *Machine) RunSort(q SortQuery) Result {
 			for _, r := range runs {
 				m.StoreOf(r.owner).DropFile(r.file)
 			}
-			nose.SendCtl(mp, mergeNode, schedPort, storeDone{site: 0, stored: total})
+			nose.SendCtl(mp, mergeNode, schedPort, storeDone{op: "merge", site: 0, stored: total})
 		})
 
-		ib.waitDones("sort", len(frags))
-		res.Tuples = ib.waitStores(1)[0].stored
+		ib.mustDones("sort", len(frags))
+		res.Tuples = ib.mustStores("merge", 1)[0].stored
 	})
 	return res
 }

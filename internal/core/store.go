@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gamma/internal/disk"
 	"gamma/internal/nose"
 	"gamma/internal/sim"
 	"gamma/internal/trace"
@@ -16,8 +17,14 @@ type storeClose struct {
 	expectEOS int
 }
 
+// storeAbort tells a store operator (or collector) to abandon its partial
+// output and acknowledge — mid-query failover teardown. The scheduler
+// drops the partial result relation afterwards, so no flush is paid.
+type storeAbort struct{}
+
 // storeDone reports a finished store operator.
 type storeDone struct {
+	op     string
 	site   int
 	stored int
 }
@@ -27,7 +34,19 @@ type storeDone struct {
 // drive with write-behind (§2: "store operators at each disk site assume
 // responsibility for writing the result tuples to disk").
 func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port, sched *nose.Port) {
-	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+	m.spawnOn(frag.Node, fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, ok := r.(disk.FailedError); ok && !frag.Node.Failed() {
+				nose.SendCtl(p, frag.Node, sched, opFailed{op: opID, node: frag.Node.ID})
+				in.Close()
+				return
+			}
+			panic(r)
+		}()
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: frag.Node.ID, Site: site, Class: "store"})
 		eng := m.Prm.Engine
 		ap := frag.File.NewAppender()
@@ -46,6 +65,10 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 				eos++
 			case storeClose:
 				expect = pl.expectEOS
+			case storeAbort:
+				nose.SendCtl(p, frag.Node, sched, abortedMsg{op: opID, site: site})
+				in.Close()
+				return
 			default:
 				panic(fmt.Sprintf("store: unexpected message %T", msg.Payload))
 			}
@@ -53,7 +76,8 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 		n := ap.Close(p)
 		m.logForce(p, frag.Node)
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: frag.Node.ID, Site: site, N: n})
-		nose.SendCtl(p, frag.Node, sched, storeDone{site: site, stored: n})
+		nose.SendCtl(p, frag.Node, sched, storeDone{op: opID, site: site, stored: n})
+		in.Close()
 	})
 }
 
@@ -62,7 +86,7 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 // single-tuple selects and aggregate results returned to the user. It obeys
 // the same close protocol as a store operator.
 func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sched *nose.Port, sink func(n int)) {
-	m.Sim.Spawn(fmt.Sprintf("%s@%d", opID, node.ID), func(p *sim.Proc) {
+	m.spawnOn(node, fmt.Sprintf("%s@%d", opID, node.ID), func(p *sim.Proc) {
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: node.ID, Site: 0, Class: "collect"})
 		eng := m.Prm.Engine
 		eos := 0
@@ -78,6 +102,10 @@ func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sch
 				eos++
 			case storeClose:
 				expect = pl.expectEOS
+			case storeAbort:
+				nose.SendCtl(p, node, sched, abortedMsg{op: opID, site: 0})
+				in.Close()
+				return
 			default:
 				panic(fmt.Sprintf("collector: unexpected message %T", msg.Payload))
 			}
@@ -86,6 +114,7 @@ func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sch
 			sink(total)
 		}
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: node.ID, Site: 0, N: total})
-		nose.SendCtl(p, node, sched, storeDone{site: 0, stored: total})
+		nose.SendCtl(p, node, sched, storeDone{op: opID, site: 0, stored: total})
+		in.Close()
 	})
 }

@@ -42,6 +42,7 @@ type Drive struct {
 	haveLast bool
 	lastFile int
 	lastPage int
+	failed   bool
 
 	stats Stats
 }
@@ -50,6 +51,20 @@ type Drive struct {
 func New(s *sim.Sim, name string, cfg config.Disk) *Drive {
 	return &Drive{sim: s, name: name, res: s.NewResource(name), cfg: cfg}
 }
+
+// FailedError is the panic value raised by any access to a failed drive.
+// Operator processes recover it and report the loss to their scheduler,
+// which fails the request over to a backup fragment.
+type FailedError struct{ Drive string }
+
+func (e FailedError) Error() string { return "disk: drive " + e.Drive + " has failed" }
+
+// Fail marks the drive broken: every subsequent access panics with a
+// FailedError. In-flight (already queued) requests complete.
+func (d *Drive) Fail() { d.failed = true }
+
+// Failed reports whether the drive has failed.
+func (d *Drive) Failed() bool { return d.failed }
 
 // Stats returns a copy of the drive's counters.
 func (d *Drive) Stats() Stats { return d.stats }
@@ -60,6 +75,9 @@ func (d *Drive) Resource() *sim.Resource { return d.res }
 // serviceTime computes the cost of accessing (file, page) and updates the
 // positional state and counters.
 func (d *Drive) serviceTime(file, page, bytes int, write bool) sim.Dur {
+	if d.failed {
+		panic(FailedError{Drive: d.name})
+	}
 	sequential := d.haveLast && file == d.lastFile && page == d.lastPage+1
 	d.haveLast, d.lastFile, d.lastPage = true, file, page
 

@@ -1,0 +1,164 @@
+// Package fault schedules deterministic hardware failures against the
+// simulation clock. It is the composition layer between the machine's
+// failure entry points (core.Machine.CrashDisk, FailDrive, NICOutage) and
+// experiments: a Schedule is armed once, the injections fire at exact
+// simulated instants, and because the simulation is deterministic the same
+// seed plus the same schedule always produces the same run — byte-identical
+// traces included.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gamma/internal/core"
+	"gamma/internal/sim"
+)
+
+// Kind is the failure mode of one injection.
+type Kind int
+
+const (
+	// NodeCrash fails a disk site completely: processor, ports, and drive.
+	// Queries fail over to the site's chained-declustered backups.
+	NodeCrash Kind = iota
+	// DriveFail fails only the site's drive; the processor survives, so
+	// operators report the loss immediately instead of timing out.
+	DriveFail
+	// NICOutage blocks a node's network interface for Dur; traffic queues
+	// behind the outage and drains afterwards. No failover is involved.
+	NICOutage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case DriveFail:
+		return "drive-fail"
+	case NICOutage:
+		return "nic-outage"
+	default:
+		return fmt.Sprintf("fault.Kind(%d)", int(k))
+	}
+}
+
+// Injection is one scheduled failure.
+type Injection struct {
+	At   sim.Time // simulated instant the failure takes effect
+	Kind Kind
+	// Site is a disk-site index (NodeCrash, DriveFail) or a node ID
+	// (NICOutage, which can hit any processor).
+	Site int
+	// Dur is the outage length (NICOutage only).
+	Dur sim.Dur
+}
+
+func (in Injection) String() string {
+	s := fmt.Sprintf("%s@%d t=%.3fs", in.Kind, in.Site, float64(in.At)/float64(sim.Second))
+	if in.Kind == NICOutage {
+		s += fmt.Sprintf(" for %.3fs", float64(in.Dur)/float64(sim.Second))
+	}
+	return s
+}
+
+// Schedule is a fault-injection plan: the failover detection timeout and
+// the failures to stage.
+type Schedule struct {
+	// Detect is the scheduler's operator-silence timeout; <= 0 selects
+	// core.DefaultFailoverDetect.
+	Detect sim.Dur
+	// Injections fire in At order (the simulator orders same-instant
+	// events by scheduling order, i.e. slice order here).
+	Injections []Injection
+}
+
+// Crash returns a node-crash injection against a disk site.
+func Crash(at sim.Time, site int) Injection {
+	return Injection{At: at, Kind: NodeCrash, Site: site}
+}
+
+// BadDrive returns a drive-failure injection against a disk site.
+func BadDrive(at sim.Time, site int) Injection {
+	return Injection{At: at, Kind: DriveFail, Site: site}
+}
+
+// Outage returns a NIC-outage injection against a node ID.
+func Outage(at sim.Time, node int, d sim.Dur) Injection {
+	return Injection{At: at, Kind: NICOutage, Site: node, Dur: d}
+}
+
+// Arm enables mid-query failover on the machine and stages every injection
+// as a simulator event. Call it before the queries whose lifetime the
+// schedule overlaps; injections whose instant has already passed fire
+// immediately (the simulator clamps to now).
+func Arm(m *core.Machine, s Schedule) {
+	m.EnableFailover(s.Detect)
+	for _, in := range s.Injections {
+		in := in
+		m.Sim.At(in.At, func() {
+			switch in.Kind {
+			case NodeCrash:
+				m.CrashDisk(in.Site)
+			case DriveFail:
+				m.FailDrive(in.Site)
+			case NICOutage:
+				m.NICOutage(in.Site, in.Dur)
+			default:
+				panic("fault: unknown injection kind " + in.Kind.String())
+			}
+		})
+	}
+}
+
+// ParseInjection parses the command-line form "site@seconds" (node crash),
+// "drive:site@seconds", or "nic:node@seconds+dur", e.g. "2@1.5" or
+// "nic:3@0.5+0.2".
+func ParseInjection(s string) (Injection, error) {
+	kind := NodeCrash
+	rest := s
+	if k, r, ok := strings.Cut(s, ":"); ok {
+		switch k {
+		case "crash":
+			kind = NodeCrash
+		case "drive":
+			kind = DriveFail
+		case "nic":
+			kind = NICOutage
+		default:
+			return Injection{}, fmt.Errorf("unknown fault kind %q (want crash, drive, or nic)", k)
+		}
+		rest = r
+	}
+	siteStr, atStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Injection{}, fmt.Errorf("fault %q: want site@seconds", s)
+	}
+	site, err := strconv.Atoi(siteStr)
+	if err != nil || site < 0 {
+		return Injection{}, fmt.Errorf("fault %q: bad site %q", s, siteStr)
+	}
+	var durSec float64
+	if kind == NICOutage {
+		var durStr string
+		atStr, durStr, ok = strings.Cut(atStr, "+")
+		if !ok {
+			return Injection{}, fmt.Errorf("fault %q: nic outage wants node@seconds+dur", s)
+		}
+		durSec, err = strconv.ParseFloat(durStr, 64)
+		if err != nil || durSec <= 0 {
+			return Injection{}, fmt.Errorf("fault %q: bad outage duration %q", s, durStr)
+		}
+	}
+	atSec, err := strconv.ParseFloat(atStr, 64)
+	if err != nil || atSec < 0 {
+		return Injection{}, fmt.Errorf("fault %q: bad time %q", s, atStr)
+	}
+	return Injection{
+		At:   sim.Time(atSec * float64(sim.Second)),
+		Kind: kind,
+		Site: site,
+		Dur:  sim.Dur(durSec * float64(sim.Second)),
+	}, nil
+}

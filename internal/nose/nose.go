@@ -138,7 +138,28 @@ type Node struct {
 	// disk nodes, an assigned disk node for diskless processors (join
 	// overflow resolution spools partitions to temporary files, §6).
 	SpoolNode *Node
+
+	failed bool
+	ports  []*Port
 }
+
+// Fail marks the node crashed: every existing port is closed (queued and
+// future messages are dropped with their window credits returned to the
+// senders) and ports created later start closed. The caller is responsible
+// for killing the node's processes and failing its drive; Fail only severs
+// the node from the network. Idempotent.
+func (nd *Node) Fail() {
+	if nd.failed {
+		return
+	}
+	nd.failed = true
+	for _, pt := range nd.ports {
+		pt.Close()
+	}
+}
+
+// Failed reports whether the node has crashed.
+func (nd *Node) Failed() bool { return nd.failed }
 
 // AddNode attaches a node; diskCfg is used only when withDisk is true.
 func (n *Network) AddNode(withDisk bool, diskCfg config.Disk) *Node {
@@ -170,16 +191,42 @@ func (nd *Node) UseCPU(p *sim.Proc, instr int) {
 // Port is a well-known mailbox on a node. Operator processes receive their
 // input streams and control packets through ports.
 type Port struct {
-	node  *Node
-	name  string
-	queue []Message
-	recvq *sim.WaitQ
+	node   *Node
+	name   string
+	queue  []Message
+	recvq  *sim.WaitQ
+	closed bool
 }
 
-// NewPort creates a named port on the node.
+// NewPort creates a named port on the node. A port created on a failed node
+// starts closed.
 func (nd *Node) NewPort(name string) *Port {
-	return &Port{node: nd, name: name, recvq: nd.net.sim.NewWaitQ("port:" + name)}
+	pt := &Port{node: nd, name: name, recvq: nd.net.sim.NewWaitQ("port:" + name), closed: nd.failed}
+	nd.ports = append(nd.ports, pt)
+	return pt
 }
+
+// Close shuts the mailbox: queued messages are discarded and future
+// deliveries are dropped, in both cases returning the senders' window
+// credits so no producer blocks forever on a dead consumer. The receiver
+// must not be parked on the port when it closes (operators close their own
+// port on exit; crashed nodes' receivers are killed before their ports
+// close). Idempotent.
+func (pt *Port) Close() {
+	if pt.closed {
+		return
+	}
+	pt.closed = true
+	for _, m := range pt.queue {
+		if m.release != nil {
+			m.release()
+		}
+	}
+	pt.queue = nil
+}
+
+// Closed reports whether the port has been closed.
+func (pt *Port) Closed() bool { return pt.closed }
 
 // Node returns the port's home node.
 func (pt *Port) Node() *Node { return pt.node }
@@ -191,7 +238,15 @@ func (pt *Port) Name() string { return pt.name }
 func (pt *Port) Pending() int { return len(pt.queue) }
 
 // deliver enqueues m and wakes one waiting receiver. Kernel context.
+// Delivery to a closed port drops the message, immediately returning the
+// sender's window credit.
 func (pt *Port) deliver(m Message) {
+	if pt.closed {
+		if m.release != nil {
+			m.release()
+		}
+		return
+	}
 	pt.queue = append(pt.queue, m)
 	pt.recvq.WakeOne()
 }
@@ -212,6 +267,19 @@ func (pt *Port) Recv(p *sim.Proc) Message {
 		m.release = nil
 	}
 	return m
+}
+
+// RecvTimeout is Recv with a deadline: it blocks p until a message arrives
+// or d elapses, reporting false on timeout. Used by a failover-armed
+// scheduler to detect a dead operator by silence on its inbox.
+func (pt *Port) RecvTimeout(p *sim.Proc, d sim.Dur) (Message, bool) {
+	deadline := pt.node.net.sim.Now() + d
+	for len(pt.queue) == 0 {
+		if !pt.recvq.ParkTimeout(p, deadline-pt.node.net.sim.Now()) && len(pt.queue) == 0 {
+			return Message{}, false
+		}
+	}
+	return pt.Recv(p), true
 }
 
 // TryRecv returns a queued message without blocking, if one is available.

@@ -123,11 +123,15 @@ func (s *Sim) At(t Time, fn func()) {
 func (s *Sim) After(d Dur, fn func()) { s.At(s.now+d, fn) }
 
 // Proc is a simulated process: a goroutine scheduled cooperatively by the
-// kernel. All Proc methods must be called from the process's own goroutine.
+// kernel. All Proc methods must be called from the process's own goroutine,
+// except Kill, which is called from kernel context.
 type Proc struct {
-	sim    *Sim
-	name   string
-	resume chan struct{}
+	sim     *Sim
+	name    string
+	resume  chan struct{}
+	killed  bool
+	wq      *WaitQ // wait queue the process is parked on, if any
+	parkSeq uint64 // increments per park; lets timed wakes detect staleness
 }
 
 // Sim returns the simulation the process belongs to.
@@ -152,7 +156,34 @@ func (p *Proc) park() {
 	p.sim.parked++
 	p.sim.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
 }
+
+// killSentinel unwinds a killed process's stack; the spawn wrapper absorbs
+// it so a kill is a clean exit, not a simulation failure.
+type killSentinel struct{}
+
+// Kill terminates the process: if it is parked it is unwound the next time
+// it would resume (immediately when parked on a WaitQ; at its pending wake
+// when sleeping or queued on a Resource), and if it has not started yet its
+// body never runs. Must be called from kernel context (an event function or
+// another process). Killing a dead or already-killed process is a no-op.
+func (p *Proc) Kill() {
+	if p.killed {
+		return
+	}
+	p.killed = true
+	if p.wq != nil {
+		p.wq.remove(p)
+		p.wq = nil
+		p.wake(p.sim.now)
+	}
+}
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
 
 // wake schedules the process to resume at time t. It must be called exactly
 // once per park, from kernel context (an event function or another process).
@@ -194,13 +225,15 @@ func (s *Sim) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			s.procs--
 			if r := recover(); r != nil {
-				if s.failure == nil {
+				if _, wasKilled := r.(killSentinel); !wasKilled && s.failure == nil {
 					s.failure = procPanic{name: name, val: r}
 				}
 			}
 			s.yield <- struct{}{}
 		}()
-		fn(p)
+		if !p.killed {
+			fn(p)
+		}
 	}()
 	s.At(t, func() {
 		p.resume <- struct{}{}

@@ -15,8 +15,47 @@ func (s *Sim) NewWaitQ(name string) *WaitQ {
 
 // Park suspends p until another process calls WakeOne or WakeAll.
 func (q *WaitQ) Park(p *Proc) {
+	p.parkSeq++
+	p.wq = q
 	q.procs = append(q.procs, p)
 	p.park()
+	p.wq = nil
+}
+
+// ParkTimeout parks p until woken or until d elapses, whichever comes first.
+// It reports true if the process was woken normally and false on timeout.
+// The timer and a WakeOne/WakeAll/Kill race for the wake; whoever dequeues
+// the process first owns it, so the process is never woken twice.
+func (q *WaitQ) ParkTimeout(p *Proc, d Dur) bool {
+	p.parkSeq++
+	p.wq = q
+	seq := p.parkSeq
+	q.procs = append(q.procs, p)
+	timedOut := false
+	q.sim.After(d, func() {
+		// The parkSeq check makes a timer from an earlier, already-woken
+		// park harmless even if p has since re-parked on this queue.
+		if p.wq == q && p.parkSeq == seq && q.remove(p) {
+			timedOut = true
+			p.wq = nil
+			p.wake(q.sim.now)
+		}
+	})
+	p.park()
+	p.wq = nil
+	return !timedOut
+}
+
+// remove deletes p from the queue without waking it, reporting whether it
+// was queued.
+func (q *WaitQ) remove(p *Proc) bool {
+	for i, queued := range q.procs {
+		if queued == p {
+			q.procs = append(q.procs[:i], q.procs[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // WakeOne resumes the longest-waiting parked process, if any, at the current

@@ -46,12 +46,15 @@ type Collector struct {
 	intervals map[string][]ival
 	resNames  []string // registration order
 
-	queries    []Span
-	openQuery  map[string]int // query id -> index in queries
-	ops        []Span
-	openOp     map[string]int // "op@site" -> index in ops
-	phases     []Span
-	openPhase  map[string]int // "op@site/phase" -> index in phases
+	queries   []Span
+	openQuery map[string]int // query id -> index in queries
+	ops       []Span
+	openOp    map[string]int // "op@site" -> index in ops
+	phases    []Span
+	openPhase map[string]int // "op@site/phase" -> index in phases
+
+	faults    []Event // KindFault events, in emission order
+	failovers []Event // KindFailover events, in emission order
 }
 
 // NewCollector returns an empty collector.
@@ -102,6 +105,10 @@ func (c *Collector) Emit(e Event) {
 			c.phases[i].N = e.N
 			delete(c.openPhase, k)
 		}
+	case KindFault:
+		c.faults = append(c.faults, e)
+	case KindFailover:
+		c.failovers = append(c.failovers, e)
 	}
 }
 
@@ -163,6 +170,12 @@ func (c *Collector) MergedPhases() []Span {
 	}
 	return out
 }
+
+// Faults returns every injected-failure event in emission order.
+func (c *Collector) Faults() []Event { return c.faults }
+
+// Failovers returns every failover (abort/retry) event in emission order.
+func (c *Collector) Failovers() []Event { return c.failovers }
 
 // Resources returns every resource name seen, in registration order.
 func (c *Collector) Resources() []string {

@@ -25,6 +25,13 @@ type Verdict struct {
 	Res      string      // the binding resource itself, e.g. "nic9"
 	Util     float64     // its utilization of the window
 	Classes  []ClassUtil // every class, sorted by descending Util
+
+	// Degraded-run context: hardware failures that took effect inside the
+	// window (formatted "mode@node<N> t=<seconds>") and how many query
+	// attempts were re-dispatched to backup fragments. Both empty/zero for
+	// a healthy run.
+	Faults  []string
+	Retries int
 }
 
 // classRank breaks exact utilization ties deterministically, preferring the
@@ -82,6 +89,16 @@ func (c *Collector) Diagnose(from, to int64) Verdict {
 		v.Res = v.Classes[0].Res
 		v.Util = v.Classes[0].Util
 	}
+	for _, f := range c.faults {
+		if f.At >= from && f.At <= to {
+			v.Faults = append(v.Faults, fmt.Sprintf("%s@node%d t=%.3fs", f.Class, f.Node, float64(f.At)/1e6))
+		}
+	}
+	for _, f := range c.failovers {
+		if f.At >= from && f.At <= to && f.Class == "retry" {
+			v.Retries++
+		}
+	}
 	return v
 }
 
@@ -113,6 +130,14 @@ func (v Verdict) String() string {
 	s := fmt.Sprintf("%s-bound (%s at %.1f%%)", v.Binding, v.Res, 100*v.Util)
 	if len(rest) > 0 {
 		s += "; " + strings.Join(rest, ", ")
+	}
+	if len(v.Faults) > 0 || v.Retries > 0 {
+		s += "; degraded: " + strings.Join(v.Faults, ", ")
+		if v.Retries == 1 {
+			s += " (1 retry)"
+		} else if v.Retries > 1 {
+			s += fmt.Sprintf(" (%d retries)", v.Retries)
+		}
 	}
 	return s
 }

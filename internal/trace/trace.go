@@ -53,6 +53,15 @@ const (
 	// KindQueryStart / KindQueryDone bracket one query's host-to-host span.
 	KindQueryStart Kind = "query-start"
 	KindQueryDone  Kind = "query-done"
+	// KindFault: an injected hardware failure took effect. Class is the
+	// failure mode ("node-crash", "drive-fail", "nic-outage"), Node the
+	// victim.
+	KindFault Kind = "fault"
+	// KindFailover: the scheduler reacted to a detected failure. Class is
+	// the step ("abort" when a query attempt is torn down, "retry" when its
+	// work is re-dispatched to backup fragments); Query names the query and
+	// N the attempt number.
+	KindFailover Kind = "failover"
 )
 
 // Event is one record of the stream. A single flat struct keeps JSONL
@@ -60,7 +69,7 @@ const (
 // the JSON encoding; since Go decoding restores omitted fields to their
 // zero values, round-tripping is lossless.
 type Event struct {
-	At    int64  `json:"at"`              // simulated µs at emission
+	At    int64  `json:"at"` // simulated µs at emission
 	Kind  Kind   `json:"kind"`
 	Res   string `json:"res,omitempty"`   // resource name (acquire/release)
 	Class string `json:"class,omitempty"` // disk positioning class, packet kind, phase label

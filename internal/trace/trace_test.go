@@ -64,10 +64,10 @@ func TestBusyWindows(t *testing.T) {
 
 func TestDiagnose(t *testing.T) {
 	c := collect(
-		rel("disk0", 0, 90),  // 90% of [0,100]
-		rel("disk1", 0, 50),  // 50%
-		rel("cpu0", 0, 60),   // 60%
-		rel("ring", 0, 10),   // 10%
+		rel("disk0", 0, 90), // 90% of [0,100]
+		rel("disk1", 0, 50), // 50%
+		rel("cpu0", 0, 60),  // 60%
+		rel("ring", 0, 10),  // 10%
 	)
 	v := c.Diagnose(0, 100)
 	if v.Binding != "disk" || v.Res != "disk0" {
