@@ -3,28 +3,66 @@
 //
 // Usage:
 //
-//	gammabench [-quick] [-list] [experiment ...]
+//	gammabench [-quick] [-list] [-parallel N] [-json] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs. -quick uses
 // reduced relation sizes for a fast smoke run; the default is paper scale
 // (10k/100k/1M tuples), which regenerates every published number.
+//
+// -parallel N fans experiments and their independent data points across N
+// worker goroutines (default GOMAXPROCS). Every data point is its own
+// single-threaded simulation with a fixed seed, so the rendered tables are
+// byte-identical at any worker count. -json replaces the tables with a
+// machine-readable report (wall-clock and simulated-events/sec per
+// experiment). -cpuprofile and -memprofile write pprof profiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gamma/internal/bench"
 )
 
-func run(args []string, stdout, stderr *os.File) int {
+// jsonExperiment is one experiment's entry in the -json report.
+type jsonExperiment struct {
+	ID           string  `json:"id"`
+	Title        string  `json:"title"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimEvents    int64   `json:"simulated_events"`
+	EventsPerSec float64 `json:"events_per_second"`
+}
+
+type jsonReport struct {
+	Suite            string           `json:"suite"` // "full" or "quick"
+	Workers          int              `json:"workers"`
+	GoMaxProcs       int              `json:"gomaxprocs"`
+	TotalWallSeconds float64          `json:"total_wall_seconds"`
+	Experiments      []jsonExperiment `json:"experiments"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gammabench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run with reduced relation sizes")
 	list := fs.Bool("list", false, "list experiments and exit")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for experiments and independent data points")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable report instead of tables")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := fs.String("memprofile", "", "write a heap profile to `file`")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(stderr, "gammabench: -parallel must be >= 1 (got %d)\n", *parallel)
+		fs.Usage()
 		return 2
 	}
 
@@ -36,8 +74,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	opts := bench.Full()
+	suite := "full"
 	if *quick {
 		opts = bench.Quick()
+		suite = "quick"
 	}
 
 	ids := fs.Args()
@@ -53,17 +93,78 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 	}
+	var exps []bench.Experiment
 	if len(ids) == 0 {
-		for _, e := range bench.Experiments() {
-			ids = append(ids, e.ID)
+		exps = bench.Experiments()
+	} else {
+		for _, id := range ids {
+			e, _ := bench.Lookup(id)
+			exps = append(exps, e)
 		}
 	}
-	for _, id := range ids {
-		e, _ := bench.Lookup(id)
-		start := time.Now()
-		tbl := e.Run(opts)
-		tbl.Render(stdout)
-		fmt.Fprintf(stdout, "   [%s regenerated in %.1fs wall time]\n\n", e.ID, time.Since(start).Seconds())
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "gammabench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "gammabench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
+	reports := bench.RunSuite(exps, opts, *parallel)
+	total := time.Since(start)
+
+	if *jsonOut {
+		rep := jsonReport{
+			Suite:            suite,
+			Workers:          *parallel,
+			GoMaxProcs:       runtime.GOMAXPROCS(0),
+			TotalWallSeconds: total.Seconds(),
+		}
+		for _, r := range reports {
+			rep.Experiments = append(rep.Experiments, jsonExperiment{
+				ID:           r.ID,
+				Title:        r.Title,
+				WallSeconds:  r.Wall.Seconds(),
+				SimEvents:    r.Events,
+				EventsPerSec: r.EventsPerSec(),
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "gammabench: %v\n", err)
+			return 1
+		}
+	} else {
+		// Tables go to stdout; wall-clock chatter goes to stderr so the
+		// rendered output is byte-identical at any -parallel setting.
+		for _, r := range reports {
+			r.Table.Render(stdout)
+			fmt.Fprintf(stderr, "   [%s regenerated in %.1fs wall time, %.1fM simulated events/s]\n\n",
+				r.ID, r.Wall.Seconds(), r.EventsPerSec()/1e6)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "gammabench: -memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "gammabench: -memprofile: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -34,9 +36,70 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadParallel(t *testing.T) {
+	null := devNull(t)
+	for _, v := range []string{"0", "-3", "two"} {
+		if code := run([]string{"-parallel", v, "table1"}, null, null); code != 2 {
+			t.Errorf("-parallel %s: exit code %d, want 2", v, code)
+		}
+	}
+}
+
+func TestRunRejectsUnwritableProfilePaths(t *testing.T) {
+	null := devNull(t)
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.prof")
+	// Both failures happen before (cpu) or after (mem) the suite; keep the
+	// run cheap with a bad cpu path so nothing simulates.
+	if code := run([]string{"-quick", "-cpuprofile", bad, "table3"}, null, null); code != 1 {
+		t.Errorf("-cpuprofile to missing dir: exit code %d, want 1", code)
+	}
+}
+
 func TestRunList(t *testing.T) {
 	null := devNull(t)
 	if code := run([]string{"-list"}, null, null); code != 0 {
 		t.Errorf("-list: exit code %d, want 0", code)
+	}
+}
+
+// TestRunSerialParallelIdentical asserts the rendered tables are
+// byte-identical whether the suite runs on one worker or eight: every data
+// point is an independent deterministic simulation, and wall-clock chatter
+// goes to stderr.
+func TestRunSerialParallelIdentical(t *testing.T) {
+	null := devNull(t)
+	var serial, parallel bytes.Buffer
+	if code := run([]string{"-quick", "-parallel", "1", "table3", "bitvector"}, &serial, null); code != 0 {
+		t.Fatalf("-parallel 1: exit code %d", code)
+	}
+	if code := run([]string{"-quick", "-parallel", "8", "table3", "bitvector"}, &parallel, null); code != 0 {
+		t.Fatalf("-parallel 8: exit code %d", code)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("serial and parallel stdout differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Error("no table output")
+	}
+}
+
+// TestRunProfilesWritten checks the pprof flags produce non-empty files.
+func TestRunProfilesWritten(t *testing.T) {
+	null := devNull(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if code := run([]string{"-quick", "-cpuprofile", cpu, "-memprofile", mem, "table3"}, null, null); code != 0 {
+		t.Fatalf("profiled run: exit code %d", code)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"gamma/internal/config"
 	"gamma/internal/core"
@@ -30,6 +31,16 @@ type Options struct {
 	MaxProcs int
 	// Params overrides the default machine parameters.
 	Params *config.Params
+	// Workers is the worker-slot count RunSuite was started with (1 when
+	// serial). Experiments normally don't read it — parMap consults the
+	// semaphore directly — but it is visible for reporting.
+	Workers int
+
+	// sem is the suite-wide worker-slot semaphore shared by RunSuite and
+	// parMap; nil means serial. events, when set, accumulates the number of
+	// simulated events across every machine the experiment builds.
+	sem    chan struct{}
+	events *atomic.Int64
 }
 
 // Full returns the paper-scale options.
@@ -48,6 +59,25 @@ func (o Options) params() config.Params {
 		return *o.Params
 	}
 	return config.Default()
+}
+
+// withPage returns a copy of o whose machine parameters use the given disk
+// page size (the Figure 5-8 and §6.2.3 sweeps).
+func (o Options) withPage(pageBytes int) Options {
+	prm := o.params()
+	prm.PageBytes = pageBytes
+	o.Params = &prm
+	return o
+}
+
+// newSim builds a simulator wired to the experiment's event counter, so the
+// suite runner can report simulated events per second.
+func (o Options) newSim() *sim.Sim {
+	s := sim.New()
+	if o.events != nil {
+		s.SetEventCounter(o.events)
+	}
+	return s
 }
 
 // Cell is one measured value with an optional published reference.
@@ -151,9 +181,9 @@ type gammaSetup struct {
 
 // newGamma builds a Gamma machine with nDisk+nDiskless processors and loads
 // an n-tuple relation in both physical versions.
-func newGamma(prm config.Params, nDisk, nDiskless, n int, seed uint64) *gammaSetup {
-	s := sim.New()
-	p := prm
+func newGamma(o Options, nDisk, nDiskless, n int, seed uint64) *gammaSetup {
+	s := o.newSim()
+	p := o.params()
 	m := core.NewMachine(s, &p, nDisk, nDiskless)
 	ts := wisconsin.Generate(n, seed)
 	u1 := rel.Unique1

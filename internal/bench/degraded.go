@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"gamma/internal/config"
 	"gamma/internal/core"
 	"gamma/internal/fault"
 	"gamma/internal/rel"
@@ -15,9 +14,9 @@ func init() {
 // newGammaMirrored is newGamma with chained-declustered backups, the
 // configuration the degraded-mode experiment runs in every column so the
 // fault-free baseline carries the same storage layout.
-func newGammaMirrored(prm config.Params, nDisk, nDiskless, n int, seed uint64) *gammaSetup {
-	s := sim.New()
-	p := prm
+func newGammaMirrored(o Options, nDisk, nDiskless, n int, seed uint64) *gammaSetup {
+	s := o.newSim()
+	p := o.params()
 	m := core.NewMachine(s, &p, nDisk, nDiskless)
 	m.EnableMirroring()
 	g := &gammaSetup{m: m}
@@ -91,32 +90,35 @@ func runDegraded(o Options) *Table {
 		}},
 	}
 
-	for _, r := range rows {
+	// Rows fan out; within a row the three conditions stay serial because
+	// the crash time is derived from the fault-free response time.
+	t.Rows = parMap(o, len(rows), func(i int) Row {
+		r := rows[i]
 		// Fault-free, failover machinery armed so its overhead is in the
 		// baseline.
-		g := newGammaMirrored(o.params(), nDisk, nDiskless, n, 1)
+		g := newGammaMirrored(o, nDisk, nDiskless, n, 1)
 		g.m.EnableFailover(0)
 		ff := r.run(g, n)
 
 		// One node already down before the query starts: every scan of its
 		// fragment runs from the chained-declustered backup.
-		g = newGammaMirrored(o.params(), nDisk, nDiskless, n, 1)
+		g = newGammaMirrored(o, nDisk, nDiskless, n, 1)
 		g.m.EnableFailover(0)
 		g.m.CrashDisk(crashSite)
 		down := r.run(g, n)
 
 		// The same node crashes halfway through the fault-free response
 		// time: detection, abort, and a full retry are all on the clock.
-		g = newGammaMirrored(o.params(), nDisk, nDiskless, n, 1)
+		g = newGammaMirrored(o, nDisk, nDiskless, n, 1)
 		fault.Arm(g.m, fault.Schedule{Injections: []fault.Injection{
 			fault.Crash(g.m.Sim.Now()+sim.Time(ff/2*float64(sim.Second)), crashSite),
 		}})
 		crash := r.run(g, n)
 
-		t.Rows = append(t.Rows, Row{Label: r.label, Cells: []Cell{
+		return Row{Label: r.label, Cells: []Cell{
 			{Measured: ff}, {Measured: down}, {Measured: crash},
-		}})
-	}
+		}}
+	})
 	t.Notes = append(t.Notes,
 		"All columns run with chained-declustered backups loaded (mirrored machine).",
 		"node down: disk site 1 crashed before the query; scans read its backup fragment.",

@@ -29,9 +29,10 @@ func runScaleup(o Options) *Table {
 		Columns: []string{"1% selection", "joinABprime"},
 	}
 	perProc := 12500
-	for d := 1; d <= o.MaxProcs; d++ {
+	t.Rows = parMap(o, o.MaxProcs, func(i int) Row {
+		d := i + 1
 		n := perProc * d
-		g := newGamma(o.params(), d, d, n, 1)
+		g := newGamma(o, d, d, n, 1)
 		bp := g.loadExtra("Bprime", n/10, 7)
 		sel := g.selectSecs(core.SelectQuery{
 			Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 1), Path: core.PathHeap},
@@ -42,11 +43,11 @@ func runScaleup(o Options) *Table {
 			Mode:            core.Remote,
 			MemPerJoinBytes: ampleJoinMemory,
 		})
-		t.Rows = append(t.Rows, Row{
+		return Row{
 			Label: fmt.Sprintf("%d processors, %d tuples", d, n),
 			Cells: []Cell{{Measured: sel}, {Measured: join.Elapsed.Seconds()}},
-		})
-	}
+		}
+	})
 	t.Notes = append(t.Notes,
 		"Expected shape: near-flat curves; mild growth from scheduler initiation and the",
 		"declining short-circuit fraction — the same effects that bend the Figure 2 speedups.")
@@ -83,17 +84,18 @@ func runRecovery(o Options) *Table {
 			return g.m.RunUpdate(core.UpdateQuery{Rel: g.idx, Kind: core.AppendTuple, Tuple: tp}).Elapsed.Seconds()
 		}},
 	}
-	for _, w := range workloads {
+	t.Rows = parMap(o, len(workloads), func(i int) Row {
+		w := workloads[i]
 		row := Row{Label: w.label}
 		for _, enable := range []bool{false, true} {
-			g := newGamma(o.params(), 8, 8, n, 1)
+			g := newGamma(o, 8, 8, n, 1)
 			if enable {
 				g.m.EnableRecovery()
 			}
 			row.Cells = append(row.Cells, Cell{Measured: w.run(g)})
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		return row
+	})
 	t.Notes = append(t.Notes,
 		"Log records for stored result tuples and update images ship to a dedicated recovery-server",
 		"processor in page-sized batches; commit points force the tail of the log (§8 future work, built).")
@@ -111,8 +113,10 @@ func runMultiuser(o Options) *Table {
 		Columns: []string{"join", "selection avg"},
 	}
 	n := o.FigureTuples
-	for _, mode := range []core.JoinMode{core.Local, core.Remote, core.AllNodes} {
-		g := newGamma(o.params(), 8, 8, n, 1)
+	modes := []core.JoinMode{core.Local, core.Remote, core.AllNodes}
+	t.Rows = parMap(o, len(modes), func(i int) Row {
+		mode := modes[i]
+		g := newGamma(o, 8, 8, n, 1)
 		bp := g.loadExtra("Bprime", n/10, 7)
 		join := core.JoinQuery{
 			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
@@ -124,11 +128,11 @@ func runMultiuser(o Options) *Table {
 			{Join: &join}, {Select: &sel}, {Select: &sel},
 		})
 		label := map[core.JoinMode]string{core.Local: "Local join", core.Remote: "Remote join", core.AllNodes: "Allnodes join"}[mode]
-		t.Rows = append(t.Rows, Row{Label: label, Cells: []Cell{
+		return Row{Label: label, Cells: []Cell{
 			{Measured: rs[0].Elapsed.Seconds()},
 			{Measured: (rs[1].Elapsed.Seconds() + rs[2].Elapsed.Seconds()) / 2},
-		}})
-	}
+		}}
+	})
 	t.Notes = append(t.Notes,
 		"Two concurrent 1% selections run alongside joinABprime (non-key attributes).",
 		"Expected: selections finish fastest when the join runs Remote — §6.2.1's deferred expectation.")
@@ -147,8 +151,9 @@ func runAggregate(o Options) *Table {
 		Unit:    "seconds",
 		Columns: []string{"count(*)", "min(unique1)", "sum by ten", "min by twenty"},
 	}
-	for d := 1; d <= o.MaxProcs; d++ {
-		g := newGamma(o.params(), d, d, n, 1)
+	t.Rows = parMap(o, o.MaxProcs, func(i int) Row {
+		d := i + 1
+		g := newGamma(o, d, d, n, 1)
 		row := Row{Label: fmt.Sprintf("%d processors with disks", d)}
 		scalar := func(fn core.AggFn) float64 {
 			return g.m.RunAgg(core.AggQuery{
@@ -168,8 +173,8 @@ func runAggregate(o Options) *Table {
 			{Measured: grouped(core.Sum, rel.Ten)},
 			{Measured: grouped(core.Min, rel.Twenty)},
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		return row
+	})
 	t.Notes = append(t.Notes,
 		"Scalar aggregates are folded at the scan sites (one partial per site crosses the network);",
 		"grouped aggregates hash-partition tuples on the grouping attribute across the diskless processors.")
@@ -186,10 +191,11 @@ func runHybrid(o Options) *Table {
 	}
 	n := o.FigureTuples
 	buildBytes := (n / 10) * 208
-	for _, ratio := range fig13Ratios {
+	t.Rows = parMap(o, len(fig13Ratios), func(i int) Row {
+		ratio := fig13Ratios[i]
 		row := Row{Label: fmt.Sprintf("memory/smaller relation = %.2f", ratio)}
 		for _, algo := range []core.JoinAlgorithm{core.SimpleHash, core.HybridHash} {
-			g := newGamma(o.params(), 8, 8, n, 1)
+			g := newGamma(o, 8, 8, n, 1)
 			bp := g.loadExtra("Bprime", n/10, 7)
 			nJoin := len(g.m.JoinNodes(core.Remote))
 			res := g.joinRun(core.JoinQuery{
@@ -201,8 +207,8 @@ func runHybrid(o Options) *Table {
 			})
 			row.Cells = append(row.Cells, Cell{Measured: res.Elapsed.Seconds(), Extra: fmt.Sprintf("ovf=%d", res.Overflows)})
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		return row
+	})
 	t.Notes = append(t.Notes,
 		"Expected shape: identical with ample memory; under pressure Hybrid degrades gently (spilled",
 		"partitions are written and read once) while Simple re-spools every pass — the replacement §8 announces.")
@@ -219,7 +225,7 @@ func runBitVector(o Options) *Table {
 	}
 	n := o.FigureTuples
 	run := func(filter bool) core.Result {
-		g := newGamma(o.params(), 8, 8, n, 1)
+		g := newGamma(o, 8, 8, n, 1)
 		bp := g.loadExtra("Bprime", n/10, 7)
 		return g.joinRun(core.JoinQuery{
 			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
@@ -271,9 +277,7 @@ func runPageSizeDefault(o Options) *Table {
 	for _, w := range workloads {
 		row := Row{Label: w.label}
 		for i, ps := range []int{4096, 8192} {
-			prm := o.params()
-			prm.PageBytes = ps
-			g := newGamma(prm, 8, 8, n, 1)
+			g := newGamma(o.withPage(ps), 8, 8, n, 1)
 			secs := w.run(g)
 			sums[i] += secs
 			row.Cells = append(row.Cells, Cell{Measured: secs})

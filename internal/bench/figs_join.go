@@ -28,19 +28,24 @@ const ampleJoinMemory = 64 << 20
 // figJoinData measures joinABprime response times for each (processors,
 // mode) point on the given join attribute.
 func figJoinData(o Options, attr rel.Attr) (procs []int, series [][]float64) {
+	// Every (processors, mode) point builds its own machine — fan them out.
+	pts := parMap(o, o.MaxProcs*len(joinModes), func(i int) float64 {
+		d, mode := i/len(joinModes)+1, joinModes[i%len(joinModes)]
+		g := newGamma(o, d, d, o.FigureTuples, 1)
+		bp := g.loadExtra("Bprime", o.FigureTuples/10, 7)
+		res := g.joinRun(core.JoinQuery{
+			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: attr,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: attr,
+			Mode:            mode,
+			MemPerJoinBytes: ampleJoinMemory,
+		})
+		return res.Elapsed.Seconds()
+	})
 	series = make([][]float64, len(joinModes))
 	for d := 1; d <= o.MaxProcs; d++ {
 		procs = append(procs, d)
-		for i, mode := range joinModes {
-			g := newGamma(o.params(), d, d, o.FigureTuples, 1)
-			bp := g.loadExtra("Bprime", o.FigureTuples/10, 7)
-			res := g.joinRun(core.JoinQuery{
-				Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: attr,
-				Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: attr,
-				Mode:            mode,
-				MemPerJoinBytes: ampleJoinMemory,
-			})
-			series[i] = append(series[i], res.Elapsed.Seconds())
+		for i := range joinModes {
+			series[i] = append(series[i], pts[(d-1)*len(joinModes)+i])
 		}
 	}
 	return procs, series
@@ -104,25 +109,29 @@ func runFig13(o Options) *Table {
 	}
 	n := o.FigureTuples
 	buildBytes := (n / 10) * 208
-	for _, ratio := range fig13Ratios {
-		row := Row{Label: fmt.Sprintf("memory/smaller relation = %.2f", ratio)}
-		for _, mode := range []core.JoinMode{core.Local, core.Remote} {
-			g := newGamma(o.params(), 8, 8, n, 1)
-			bp := g.loadExtra("Bprime", n/10, 7)
-			nJoin := len(g.m.JoinNodes(mode))
-			memPer := int(ratio * float64(buildBytes) / float64(nJoin))
-			res := g.joinRun(core.JoinQuery{
-				Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique1,
-				Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique1,
-				Mode:            mode,
-				MemPerJoinBytes: memPer,
-			})
-			row.Cells = append(row.Cells, Cell{
-				Measured: res.Elapsed.Seconds(),
-				Extra:    fmt.Sprintf("ovf=%d", res.Overflows),
-			})
+	fig13Modes := []core.JoinMode{core.Local, core.Remote}
+	pts := parMap(o, len(fig13Ratios)*len(fig13Modes), func(i int) Cell {
+		ratio, mode := fig13Ratios[i/len(fig13Modes)], fig13Modes[i%len(fig13Modes)]
+		g := newGamma(o, 8, 8, n, 1)
+		bp := g.loadExtra("Bprime", n/10, 7)
+		nJoin := len(g.m.JoinNodes(mode))
+		memPer := int(ratio * float64(buildBytes) / float64(nJoin))
+		res := g.joinRun(core.JoinQuery{
+			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique1,
+			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique1,
+			Mode:            mode,
+			MemPerJoinBytes: memPer,
+		})
+		return Cell{
+			Measured: res.Elapsed.Seconds(),
+			Extra:    fmt.Sprintf("ovf=%d", res.Overflows),
 		}
-		t.Rows = append(t.Rows, row)
+	})
+	for ri, ratio := range fig13Ratios {
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("memory/smaller relation = %.2f", ratio),
+			Cells: pts[ri*len(fig13Modes) : (ri+1)*len(fig13Modes)],
+		})
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: flat from zero to ~2 overflows, then rapid deterioration (Simple hash join, §6.2.2);",
@@ -133,11 +142,8 @@ func runFig13(o Options) *Table {
 
 func fig14Data(o Options) []float64 {
 	n := o.FigureTuples
-	var secs []float64
-	for _, ps := range pageSizes {
-		prm := o.params()
-		prm.PageBytes = ps
-		g := newGamma(prm, 8, 8, n, 1)
+	return parMap(o, len(pageSizes), func(i int) float64 {
+		g := newGamma(o.withPage(pageSizes[i]), 8, 8, n, 1)
 		b := g.loadExtra("B", n, 8)
 		tenPct := pct(rel.Unique2, n, 10)
 		res := g.joinRun(core.JoinQuery{
@@ -146,9 +152,8 @@ func fig14Data(o Options) []float64 {
 			Mode:            core.Remote,
 			MemPerJoinBytes: ampleJoinMemory,
 		})
-		secs = append(secs, res.Elapsed.Seconds())
-	}
-	return secs
+		return res.Elapsed.Seconds()
+	})
 }
 
 func runFig14(o Options) *Table {

@@ -23,15 +23,23 @@ var fig1Curves = []float64{0, 1, 10}
 
 // fig1Data measures response time for each (processors, selectivity) point.
 func fig1Data(o Options) (procs []int, data map[float64][]float64) {
-	data = map[float64][]float64{}
-	for d := 1; d <= o.MaxProcs; d++ {
-		procs = append(procs, d)
-		g := newGamma(o.params(), d, d, o.FigureTuples, 1)
-		for _, sel := range fig1Curves {
-			secs := g.selectSecs(core.SelectQuery{
+	// Every processor count is an independent machine — fan the points out.
+	pts := parMap(o, o.MaxProcs, func(i int) []float64 {
+		d := i + 1
+		g := newGamma(o, d, d, o.FigureTuples, 1)
+		out := make([]float64, len(fig1Curves))
+		for ci, sel := range fig1Curves {
+			out[ci] = g.selectSecs(core.SelectQuery{
 				Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, o.FigureTuples, sel), Path: core.PathHeap},
 			})
-			data[sel] = append(data[sel], secs)
+		}
+		return out
+	})
+	data = map[float64][]float64{}
+	for i, pt := range pts {
+		procs = append(procs, i+1)
+		for ci, sel := range fig1Curves {
+			data[sel] = append(data[sel], pt[ci])
 		}
 	}
 	return procs, data
@@ -124,12 +132,20 @@ var fig3Curves = []idxCurve{
 }
 
 func fig3Data(o Options) (procs []int, series [][]float64) {
+	pts := parMap(o, o.MaxProcs, func(i int) []float64 {
+		d := i + 1
+		g := newGamma(o, d, d, o.FigureTuples, 1)
+		out := make([]float64, len(fig3Curves))
+		for ci, c := range fig3Curves {
+			out[ci] = c.run(g, o.FigureTuples)
+		}
+		return out
+	})
 	series = make([][]float64, len(fig3Curves))
-	for d := 1; d <= o.MaxProcs; d++ {
-		procs = append(procs, d)
-		g := newGamma(o.params(), d, d, o.FigureTuples, 1)
-		for i, c := range fig3Curves {
-			series[i] = append(series[i], c.run(g, o.FigureTuples))
+	for i, pt := range pts {
+		procs = append(procs, i+1)
+		for ci := range fig3Curves {
+			series[ci] = append(series[ci], pt[ci])
 		}
 	}
 	return procs, series
@@ -178,16 +194,20 @@ func pageLabels() []string {
 var fig5Curves = []float64{0, 1, 10, 100}
 
 func fig5Data(o Options) [][]float64 {
-	series := make([][]float64, len(fig5Curves))
-	for _, ps := range pageSizes {
-		prm := o.params()
-		prm.PageBytes = ps
-		g := newGamma(prm, 8, 8, o.FigureTuples, 1)
-		for i, sel := range fig5Curves {
-			secs := g.selectSecs(core.SelectQuery{
+	pts := parMap(o, len(pageSizes), func(i int) []float64 {
+		g := newGamma(o.withPage(pageSizes[i]), 8, 8, o.FigureTuples, 1)
+		out := make([]float64, len(fig5Curves))
+		for ci, sel := range fig5Curves {
+			out[ci] = g.selectSecs(core.SelectQuery{
 				Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, o.FigureTuples, sel), Path: core.PathHeap},
 			})
-			series[i] = append(series[i], secs)
+		}
+		return out
+	})
+	series := make([][]float64, len(fig5Curves))
+	for _, pt := range pts {
+		for ci := range fig5Curves {
+			series[ci] = append(series[ci], pt[ci])
 		}
 	}
 	return series
@@ -216,13 +236,18 @@ var fig7Curves = []idxCurve{
 }
 
 func fig7Data(o Options) [][]float64 {
+	pts := parMap(o, len(pageSizes), func(i int) []float64 {
+		g := newGamma(o.withPage(pageSizes[i]), 8, 8, o.FigureTuples, 1)
+		out := make([]float64, len(fig7Curves))
+		for ci, c := range fig7Curves {
+			out[ci] = c.run(g, o.FigureTuples)
+		}
+		return out
+	})
 	series := make([][]float64, len(fig7Curves))
-	for _, ps := range pageSizes {
-		prm := o.params()
-		prm.PageBytes = ps
-		g := newGamma(prm, 8, 8, o.FigureTuples, 1)
-		for i, c := range fig7Curves {
-			series[i] = append(series[i], c.run(g, o.FigureTuples))
+	for _, pt := range pts {
+		for ci := range fig7Curves {
+			series[ci] = append(series[ci], pt[ci])
 		}
 	}
 	return series

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Report is the outcome of one experiment in a suite run.
+type Report struct {
+	ID     string
+	Title  string
+	Table  *Table
+	Wall   time.Duration
+	Events int64 // simulated events executed across every machine built
+}
+
+// EventsPerSec returns the simulated-event throughput of the run.
+func (r Report) EventsPerSec() float64 {
+	s := r.Wall.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Events) / s
+}
+
+// RunSuite runs the experiments, fanning them — and, through parMap, their
+// independent data points — across at most workers goroutines. Reports come
+// back in the order the experiments were given, and every Table is identical
+// to a serial run: each data point is its own single-threaded simulation
+// with a fixed seed, so scheduling cannot reach the results. workers <= 1
+// runs everything on the calling goroutine.
+func RunSuite(exps []Experiment, o Options, workers int) []Report {
+	if workers > 1 {
+		o.Workers = workers
+		o.sem = make(chan struct{}, workers)
+	}
+	reports := make([]Report, len(exps))
+	run := func(i int, e Experiment, oo Options) {
+		var ev atomic.Int64
+		oo.events = &ev
+		start := time.Now()
+		tbl := e.Run(oo)
+		reports[i] = Report{ID: e.ID, Title: e.Title, Table: tbl,
+			Wall: time.Since(start), Events: ev.Load()}
+	}
+	if o.sem == nil {
+		for i, e := range exps {
+			run(i, e, o)
+		}
+		return reports
+	}
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		// Blocking acquire: experiments enter in order as slots free up.
+		// Each in-flight experiment holds one slot; its inner parMap calls
+		// borrow further free slots without ever waiting for one.
+		o.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			defer func() { <-o.sem }()
+			run(i, e, o)
+		}(i, e)
+	}
+	wg.Wait()
+	return reports
+}
+
+// parMap evaluates fn(0) .. fn(n-1) and returns the results in index order.
+// Under a parallel Options it fans calls across free worker slots and runs
+// inline when none is free — a caller already holding a slot (RunSuite's
+// experiment goroutine) therefore can never deadlock, and a serial Options
+// degenerates to a plain loop. Each fn must build its own simulator; points
+// share nothing, which is what makes the fan-out order-independent.
+func parMap[T any](o Options, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if o.sem == nil || n <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		select {
+		case o.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-o.sem }()
+				out[i] = fn(i)
+			}(i)
+		default:
+			out[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	return out
+}

@@ -5,7 +5,6 @@ import (
 
 	"gamma/internal/core"
 	"gamma/internal/rel"
-	"gamma/internal/sim"
 	"gamma/internal/teradata"
 	"gamma/internal/wisconsin"
 )
@@ -50,7 +49,7 @@ type teraSetup struct {
 }
 
 func newTera(o Options, n int, seed uint64) *teraSetup {
-	s := sim.New()
+	s := o.newSim()
 	prm := o.params()
 	m := teradata.NewMachine(s, &prm)
 	ts := wisconsin.Generate(n, seed)
@@ -143,21 +142,31 @@ func runTable1(o Options) *Table {
 		},
 	}
 
-	measured := map[string][]Cell{}
-	for _, n := range o.Sizes {
-		t.Columns = append(t.Columns, fmt.Sprintf("%d Tera", n), fmt.Sprintf("%d Gamma", n))
+	// Each relation size is an independent pair of machines — fan them out.
+	perSize := parMap(o, len(o.Sizes), func(i int) map[string][2]Cell {
+		n := o.Sizes[i]
 		ts := newTera(o, n, 1)
-		g := newGamma(o.params(), 8, 8, n, 1)
+		g := newGamma(o, 8, 8, n, 1)
+		cells := map[string][2]Cell{}
 		for _, r := range rows {
 			tv := 0.0
 			if r.tera != nil {
 				tv = r.tera(ts)
 			}
 			gv := r.gamma(g, n)
-			measured[r.label] = append(measured[r.label],
-				Cell{Measured: tv, Paper: paperOf(paperTable1, r.label, n, 0)},
-				Cell{Measured: gv, Paper: paperOf(paperTable1, r.label, n, 1)},
-			)
+			cells[r.label] = [2]Cell{
+				{Measured: tv, Paper: paperOf(paperTable1, r.label, n, 0)},
+				{Measured: gv, Paper: paperOf(paperTable1, r.label, n, 1)},
+			}
+		}
+		return cells
+	})
+	measured := map[string][]Cell{}
+	for i, n := range o.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d Tera", n), fmt.Sprintf("%d Gamma", n))
+		for _, r := range rows {
+			c := perSize[i][r.label]
+			measured[r.label] = append(measured[r.label], c[0], c[1])
 		}
 	}
 	for _, r := range rows {

@@ -58,9 +58,9 @@ func runTable2(o Options) *Table {
 		{"non-key join attribute", rel.Unique2},
 		{"key join attribute", rel.Unique1},
 	}
-	measured := map[string][]Cell{}
-	for _, n := range o.Sizes {
-		t.Columns = append(t.Columns, fmt.Sprintf("%d Tera", n), fmt.Sprintf("%d Gamma", n))
+	// Each relation size is an independent pair of machines — fan them out.
+	perSize := parMap(o, len(o.Sizes), func(i int) map[string][2]Cell {
+		n := o.Sizes[i]
 
 		// Teradata machine and relations.
 		ts := newTera(o, n, 1)
@@ -69,11 +69,12 @@ func runTable2(o Options) *Table {
 		tc := ts.m.Load("C", rel.Unique1, nil, genRel(n/10, 9))
 
 		// Gamma machine and relations.
-		g := newGamma(o.params(), 8, 8, n, 1)
+		g := newGamma(o, 8, 8, n, 1)
 		gbp := g.loadExtra("Bprime", n/10, 7)
 		gb := g.loadExtra("B", n, 8)
 		gc := g.loadExtra("C", n/10, 9)
 
+		cells := map[string][2]Cell{}
 		for _, av := range attrs {
 			gq := gammaJoinQueries(g, n, av.attr, gbp, gb, gc)
 			for _, qn := range queries {
@@ -88,10 +89,22 @@ func runTable2(o Options) *Table {
 				if gres.Overflows > 0 {
 					extra = fmt.Sprintf("ovf=%d", gres.Overflows)
 				}
-				measured[label] = append(measured[label],
-					Cell{Measured: tres.Elapsed.Seconds(), Paper: paperOf(paperTable2, label, n, 0)},
-					Cell{Measured: gres.Elapsed.Seconds(), Paper: paperOf(paperTable2, label, n, 1), Extra: extra},
-				)
+				cells[label] = [2]Cell{
+					{Measured: tres.Elapsed.Seconds(), Paper: paperOf(paperTable2, label, n, 0)},
+					{Measured: gres.Elapsed.Seconds(), Paper: paperOf(paperTable2, label, n, 1), Extra: extra},
+				}
+			}
+		}
+		return cells
+	})
+	measured := map[string][]Cell{}
+	for i, n := range o.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d Tera", n), fmt.Sprintf("%d Gamma", n))
+		for _, av := range attrs {
+			for _, qn := range queries {
+				label := qn + ", " + av.name
+				c := perSize[i][label]
+				measured[label] = append(measured[label], c[0], c[1])
 			}
 		}
 	}

@@ -31,12 +31,12 @@ func runTable3(o Options) *Table {
 		"modify 1 tuple (non-indexed attribute)",
 		"modify 1 tuple (non-clustered index used)",
 	}
-	measured := map[string][]Cell{}
-	for _, n := range o.Sizes {
-		t.Columns = append(t.Columns, fmt.Sprintf("%d Tera", n), fmt.Sprintf("%d Gamma", n))
+	// Each relation size is an independent pair of machines — fan them out.
+	perSize := parMap(o, len(o.Sizes), func(i int) map[string][2]Cell {
+		n := o.Sizes[i]
 
 		ts := newTera(o, n, 1)
-		g := newGamma(o.params(), 8, 8, n, 1)
+		g := newGamma(o, 8, 8, n, 1)
 
 		var fresh rel.Tuple
 		fresh.Set(rel.Unique1, int32(n+7))
@@ -63,11 +63,21 @@ func runTable3(o Options) *Table {
 		teraSecs[labels[5]] = ts.m.RunUpdate(teradata.UpdateQuery{Rel: ts.idx, Kind: teradata.ModifyIndexed, Key: int32(n / 5), Attr: rel.Unique2, NewValue: int32(n + 21)}).Elapsed.Seconds()
 		gammaSecs[labels[5]] = g.m.RunUpdate(core.UpdateQuery{Rel: g.idx, Kind: core.ModifyIndexed, Key: int32(n / 5), Attr: rel.Unique2, NewValue: int32(n + 21)}).Elapsed.Seconds()
 
+		cells := map[string][2]Cell{}
 		for _, l := range labels {
-			measured[l] = append(measured[l],
-				Cell{Measured: teraSecs[l], Paper: paperOf(paperTable3, l, n, 0)},
-				Cell{Measured: gammaSecs[l], Paper: paperOf(paperTable3, l, n, 1)},
-			)
+			cells[l] = [2]Cell{
+				{Measured: teraSecs[l], Paper: paperOf(paperTable3, l, n, 0)},
+				{Measured: gammaSecs[l], Paper: paperOf(paperTable3, l, n, 1)},
+			}
+		}
+		return cells
+	})
+	measured := map[string][]Cell{}
+	for i, n := range o.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d Tera", n), fmt.Sprintf("%d Gamma", n))
+		for _, l := range labels {
+			c := perSize[i][l]
+			measured[l] = append(measured[l], c[0], c[1])
 		}
 	}
 	for _, l := range labels {

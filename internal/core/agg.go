@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"gamma/internal/nose"
 	"gamma/internal/rel"
@@ -241,7 +241,7 @@ func (r AggResult) sortedGroups() []int32 {
 	for k := range r.Groups {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	return keys
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"gamma/internal/disk"
@@ -160,6 +161,9 @@ func spawnJoin(spec joinSpec) {
 	m := spec.m
 	m.spawnOn(spec.node, fmt.Sprintf("%s@%d", spec.opID, spec.node.ID), func(p *sim.Proc) {
 		phase := func(kind trace.Kind, label string, n int) {
+			if !m.Sim.Tracing() {
+				return
+			}
 			m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: kind, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: label, N: n})
 		}
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: "join"})
@@ -223,7 +227,10 @@ func spawnJoin(spec joinSpec) {
 			case ctlAbort:
 				panic(abortSignal{})
 			case ctlRoundBuild:
-				label := fmt.Sprintf("ovfbuild-%d", jc.level)
+				var label string
+				if m.Sim.Tracing() {
+					label = fmt.Sprintf("ovfbuild-%d", jc.level)
+				}
 				phase(trace.KindPhaseStart, label, 0)
 				jt.beginPhase(jc.level)
 				recvStream(p, spec.port, roundStream(jc.level, false), spec.nSites, func(ts []rel.Tuple) {
@@ -235,7 +242,10 @@ func spawnJoin(spec joinSpec) {
 				phase(trace.KindPhaseDone, label, 0)
 				nose.SendCtl(p, spec.node, spec.sched, builtMsg{op: spec.opID, site: spec.site, overflowed: jt.phaseOverflowed})
 			case ctlRoundProbe:
-				label := fmt.Sprintf("ovfprobe-%d", jc.level)
+				var label string
+				if m.Sim.Tracing() {
+					label = fmt.Sprintf("ovfprobe-%d", jc.level)
+				}
 				phase(trace.KindPhaseStart, label, 0)
 				jt.runProbePhase(p, roundStream(jc.level, true), spec.nSites)
 				phase(trace.KindPhaseDone, label, jt.produced)
@@ -259,6 +269,7 @@ func recvStream(p *sim.Proc, port *nose.Port, want streamID, expect int, onPacke
 				panic(fmt.Sprintf("recvStream: stream %d, want %d", pl.stream, want))
 			}
 			onPacket(pl.tuples)
+			putTupleBuf(pl.tuples)
 		case eosPayload:
 			if pl.stream != want {
 				panic(fmt.Sprintf("recvStream: eos for stream %d, want %d", pl.stream, want))
@@ -417,7 +428,7 @@ func (jt *joinTable) overflow(p *sim.Proc) bool {
 			keys = append(keys, v)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	dst := jt.curRound + jt.spec.hybridParts + 1
 	for _, v := range keys {
 		for _, t := range jt.table[v] {

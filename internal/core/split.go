@@ -117,6 +117,9 @@ type splitTable struct {
 	// both of which may need dropped attributes.
 	project []rel.Attr
 
+	// pp caches perPacket() so the per-tuple send path does no division.
+	pp int
+
 	sent    int
 	dropped int
 	// pendingInstr accumulates per-tuple CPU work, charged in batches at
@@ -127,6 +130,7 @@ type splitTable struct {
 
 func newSplitTable(node *nose.Node, prm *config.Params, stream streamID, ports []*nose.Port, route RouteFn) *splitTable {
 	st := &splitTable{node: node, prm: prm, stream: stream, ports: ports, route: route, tupleBytes: prm.TupleBytes}
+	st.pp = st.perPacket()
 	for _, pt := range ports {
 		st.conns = append(st.conns, node.Dial(pt))
 		st.bufs = append(st.bufs, nil)
@@ -138,6 +142,7 @@ func newSplitTable(node *nose.Node, prm *config.Params, stream streamID, ports [
 func (st *splitTable) setWidth(bytes int) {
 	if bytes > 0 {
 		st.tupleBytes = bytes
+		st.pp = st.perPacket()
 	}
 }
 
@@ -174,8 +179,11 @@ func (st *splitTable) send(p *sim.Proc, t rel.Tuple) {
 		}
 		t = pt
 	}
+	if st.bufs[d] == nil {
+		st.bufs[d] = getTupleBuf(st.pp)
+	}
 	st.bufs[d] = append(st.bufs[d], t)
-	if len(st.bufs[d]) >= st.perPacket() {
+	if len(st.bufs[d]) >= st.pp {
 		st.flush(p, d)
 	}
 }

@@ -61,6 +61,7 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 					ap.Append(p, t)
 					m.logRecord(p, frag.Node, m.Prm.TupleBytes)
 				}
+				putTupleBuf(pl.tuples)
 			case eosPayload:
 				eos++
 			case storeClose:
@@ -98,6 +99,7 @@ func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sch
 			case packet:
 				node.UseCPU(p, eng.InstrPerTupleStore*len(pl.tuples))
 				total += len(pl.tuples)
+				putTupleBuf(pl.tuples)
 			case eosPayload:
 				eos++
 			case storeClose:

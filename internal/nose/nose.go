@@ -321,10 +321,12 @@ func (c *Conn) Send(p *sim.Proc, kind MsgKind, payload any, bytes int) {
 	if c.Local() {
 		c.from.UseCPU(p, net.cfg.InstrPerLocalMsg)
 		net.stats.LocalMsgs++
-		net.sim.Emit(trace.Event{
-			At: int64(net.sim.Now()), Kind: trace.KindLocalMsg,
-			Class: kind.String(), Node: c.from.ID, Bytes: bytes,
-		})
+		if net.sim.Tracing() {
+			net.sim.Emit(trace.Event{
+				At: int64(net.sim.Now()), Kind: trace.KindLocalMsg,
+				Class: kind.String(), Node: c.from.ID, Bytes: bytes,
+			})
+		}
 		c.to.deliver(Message{From: c.from, Kind: kind, Payload: payload})
 		return
 	}
@@ -336,10 +338,12 @@ func (c *Conn) Send(p *sim.Proc, kind MsgKind, payload any, bytes int) {
 	c.from.NIC.Use(p, net.cfg.NICTime(bytes))
 	net.stats.DataPackets++
 	net.stats.RingBytes += int64(bytes)
-	net.sim.Emit(trace.Event{
-		At: int64(net.sim.Now()), Kind: trace.KindPacket,
-		Class: kind.String(), From: c.from.ID, To: c.to.node.ID, Bytes: bytes,
-	})
+	if net.sim.Tracing() {
+		net.sim.Emit(trace.Event{
+			At: int64(net.sim.Now()), Kind: trace.KindPacket,
+			Class: kind.String(), From: c.from.ID, To: c.to.node.ID, Bytes: bytes,
+		})
+	}
 	ringDone := net.ring.UseAsync(net.cfg.RingTime(bytes))
 	conn := c
 	release := func() {
@@ -406,18 +410,22 @@ func SendCtl(p *sim.Proc, from *Node, to *Port, payload any) {
 	if from == to.node {
 		from.UseCPU(p, net.cfg.InstrPerLocalMsg)
 		net.stats.LocalMsgs++
-		net.sim.Emit(trace.Event{
-			At: int64(net.sim.Now()), Kind: trace.KindLocalMsg,
-			Class: Control.String(), Node: from.ID,
-		})
+		if net.sim.Tracing() {
+			net.sim.Emit(trace.Event{
+				At: int64(net.sim.Now()), Kind: trace.KindLocalMsg,
+				Class: Control.String(), Node: from.ID,
+			})
+		}
 		to.deliver(Message{From: from, Kind: Control, Payload: payload})
 		return
 	}
 	from.CPU.Use(p, net.cfg.CtlMsg)
 	net.stats.CtlMsgs++
-	net.sim.Emit(trace.Event{
-		At: int64(net.sim.Now()), Kind: trace.KindCtlMsg,
-		From: from.ID, To: to.node.ID,
-	})
+	if net.sim.Tracing() {
+		net.sim.Emit(trace.Event{
+			At: int64(net.sim.Now()), Kind: trace.KindCtlMsg,
+			From: from.ID, To: to.node.ID,
+		})
+	}
 	to.deliver(Message{From: from, Kind: Control, Payload: payload})
 }

@@ -2,7 +2,7 @@ package quel
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"gamma/internal/core"
@@ -170,7 +170,7 @@ func (s *Session) runAgg(a *AggTarget, groupBy *rel.Attr, q *qual) (Output, erro
 		for k := range res.Groups {
 			keys = append(keys, k)
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		slices.Sort(keys)
 		for _, k := range keys {
 			fmt.Fprintf(&b, "%s=%d: %d\n", *groupBy, k, res.Groups[k])
 		}

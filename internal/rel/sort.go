@@ -1,0 +1,66 @@
+package rel
+
+// RadixPermutation returns the permutation that orders keys ascending,
+// stable among equal keys: applying perm (out[i] = in[perm[i]]) yields the
+// stably-sorted sequence. LSD radix over four 8-bit digits — O(n) with no
+// comparisons, which beats comparison sorts by a wide margin when the
+// elements being permuted are fat (52-byte tuples) and only a 4-byte key
+// decides the order.
+func RadixPermutation(keys []int32) []int32 {
+	n := len(keys)
+	ka := make([]uint32, n)
+	ia := make([]int32, n)
+	for i, k := range keys {
+		// Flip the sign bit so signed order matches unsigned digit order.
+		ka[i] = uint32(k) ^ 0x80000000
+		ia[i] = int32(i)
+	}
+	kb := make([]uint32, n)
+	ib := make([]int32, n)
+	var count [256]int
+	for shift := uint(0); shift < 32; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range ka {
+			count[(k>>shift)&0xff]++
+		}
+		pos := 0
+		for b := 0; b < 256; b++ {
+			c := count[b]
+			count[b] = pos
+			pos += c
+		}
+		for i, k := range ka {
+			b := (k >> shift) & 0xff
+			kb[count[b]] = k
+			ib[count[b]] = ia[i]
+			count[b]++
+		}
+		ka, kb = kb, ka
+		ia, ib = ib, ia
+	}
+	// Four swaps: the final permutation sits in the original ia.
+	return ia
+}
+
+// SortByAttr sorts tuples by attribute k, ascending and stable among equal
+// keys. The key column is extracted once, a radix permutation computed, and
+// the tuples gathered in a single pass — far cheaper than a comparison sort
+// that swaps 52-byte structs O(n log n) times.
+func SortByAttr(tuples []Tuple, k Attr) {
+	n := len(tuples)
+	if n < 2 {
+		return
+	}
+	keys := make([]int32, n)
+	for i := range tuples {
+		keys[i] = tuples[i].Get(k)
+	}
+	perm := RadixPermutation(keys)
+	out := make([]Tuple, n)
+	for i, j := range perm {
+		out[i] = tuples[j]
+	}
+	copy(tuples, out)
+}

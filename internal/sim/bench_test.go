@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// BenchmarkAfter measures the steady-state schedule/fire cycle: one event
+// pushed and popped per iteration. The acceptance bar is zero allocs/op —
+// the calendar must not box events or build closures on the hot path.
+func BenchmarkAfter(b *testing.B) {
+	s := New()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, nop)
+		s.Run()
+	}
+}
+
+// BenchmarkAfterDeep keeps a large pending set in the calendar, exercising
+// the 4-ary heap at the depth the multi-user experiments reach.
+func BenchmarkAfterDeep(b *testing.B) {
+	s := New()
+	nop := func() {}
+	for i := 0; i < 4096; i++ {
+		s.After(Dur(1+i%97), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Dur(1+i%97), nop)
+		s.fire(s.events.pop())
+	}
+	b.StopTimer()
+	s.Run()
+}
+
+// BenchmarkResourceUse measures a full park/wake round trip through a FIFO
+// resource: enqueue, grant, sleep-to-completion, resume. Steady state must
+// be zero allocs/op.
+func BenchmarkResourceUse(b *testing.B) {
+	s := New()
+	r := s.NewResource("r")
+	s.Spawn("user", func(p *Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Use(p, 1)
+		}
+	})
+	s.Run()
+}
+
+// BenchmarkWaitQPingPong measures two processes alternating park/wake
+// through a pair of wait queues — the mailbox pattern the network and
+// operator processes use constantly.
+func BenchmarkWaitQPingPong(b *testing.B) {
+	s := New()
+	ping := s.NewWaitQ("ping")
+	pong := s.NewWaitQ("pong")
+	s.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Park(p)
+			pong.WakeOne()
+		}
+	})
+	s.Spawn("b", func(p *Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ping.WakeOne()
+			pong.Park(p)
+		}
+	})
+	s.Run()
+}

@@ -1,0 +1,97 @@
+package sim
+
+// event is one pending occurrence in the kernel's calendar. Exactly one of
+// p/fn is set: wake events carry the process to resume directly (no closure
+// allocation per park/wake), fn events carry arbitrary kernel callbacks.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	p   *Proc  // wake event: process to resume (nil for fn events)
+	fn  func() // callback event (nil for wake events)
+}
+
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq). It is
+// deliberately monomorphic — no container/heap, no interface boxing — so the
+// steady-state schedule/fire cycle allocates nothing: Push appends into the
+// backing slice (amortized growth only) and Pop shrinks it in place.
+//
+// A 4-ary layout halves tree depth versus binary, trading slightly more
+// comparisons per level for fewer cache-missing swaps — the standard shape
+// for event calendars with large pending sets (the multi-user experiments
+// keep thousands of events in flight).
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// less orders by time, then by schedule order (FIFO among equal times).
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e, sifting it up from the last slot.
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The vacated slot is zeroed so
+// the heap does not pin dead closures or processes for the GC.
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{}
+	h.ev = h.ev[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores heap order below slot i.
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
+}
+
+// peek returns the earliest pending time (only valid when non-empty).
+func (h *eventHeap) peek() (Time, bool) {
+	if len(h.ev) == 0 {
+		return 0, false
+	}
+	return h.ev[0].at, true
+}

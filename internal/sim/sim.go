@@ -14,8 +14,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"gamma/internal/trace"
 )
@@ -41,43 +41,20 @@ func FromSeconds(s float64) Dur { return Dur(s * float64(Second)) }
 
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-type event struct {
-	at  Time
-	seq uint64 // tie-break so equal-time events fire in schedule order
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (Time, bool) { // only valid when non-empty
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].at, true
-}
-
 // Sim is a discrete-event simulation instance. The zero value is not usable;
 // create one with New.
 type Sim struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	yield   chan struct{} // process -> kernel: "I have parked or finished"
-	parked  int           // number of live processes currently parked
-	procs   int           // number of live processes
-	failure any           // panic value escaped from a process
-	trace   func(t Time, format string, args ...any)
-	sink    trace.Sink
+	now      Time
+	events   eventHeap
+	seq      uint64
+	yield    chan struct{} // process -> kernel: "I have parked or finished"
+	parked   int           // number of live processes currently parked
+	procs    int           // number of live processes
+	failure  any           // panic value escaped from a process
+	executed uint64        // events fired so far
+	counter  *atomic.Int64 // optional shared executed-event counter
+	trace    func(t Time, format string, args ...any)
+	sink     trace.Sink
 }
 
 // New returns an empty simulation with the clock at zero.
@@ -116,7 +93,7 @@ func (s *Sim) At(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d from now.
@@ -131,6 +108,7 @@ type Proc struct {
 	resume  chan struct{}
 	killed  bool
 	wq      *WaitQ // wait queue the process is parked on, if any
+	wqIdx   int    // slot in wq.procs, cached for O(1) removal
 	parkSeq uint64 // increments per park; lets timed wakes detect staleness
 }
 
@@ -187,13 +165,15 @@ func (p *Proc) Killed() bool { return p.killed }
 
 // wake schedules the process to resume at time t. It must be called exactly
 // once per park, from kernel context (an event function or another process).
+// The event carries the process directly — the kernel loop performs the
+// hand-off itself, so a park/wake cycle allocates no closure.
 func (p *Proc) wake(t Time) {
 	s := p.sim
-	s.At(t, func() {
-		s.parked--
-		p.resume <- struct{}{}
-		<-s.yield
-	})
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.events.push(event{at: t, seq: s.seq, p: p})
 }
 
 // Sleep advances the process's virtual time by d.
@@ -235,10 +215,10 @@ func (s *Sim) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 			fn(p)
 		}
 	}()
-	s.At(t, func() {
-		p.resume <- struct{}{}
-		<-s.yield
-	})
+	// The start is an ordinary wake: the goroutine above is "parked" on its
+	// resume channel until the start event fires.
+	s.parked++
+	p.wake(t)
 	return p
 }
 
@@ -249,21 +229,35 @@ type procPanic struct {
 
 func (e procPanic) String() string { return fmt.Sprintf("process %q panicked: %v", e.name, e.val) }
 
+// fire dispatches one event: a wake event hands control to its process (the
+// coalesced park/wake path — no closure, no extra event), a callback event
+// runs its function in kernel context.
+func (s *Sim) fire(e event) {
+	s.now = e.at
+	s.executed++
+	if e.p != nil {
+		s.parked--
+		e.p.resume <- struct{}{}
+		<-s.yield
+	} else {
+		e.fn()
+	}
+	if s.failure != nil {
+		panic(s.failure.(procPanic).String())
+	}
+}
+
 // Run executes events until none remain, then returns the final clock value.
 // It panics if a process panicked, or if live processes remain parked with no
 // pending events (a simulated deadlock).
 func (s *Sim) Run() Time {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(event)
-		s.now = e.at
-		e.fn()
-		if s.failure != nil {
-			panic(s.failure.(procPanic).String())
-		}
+	for s.events.len() > 0 {
+		s.fire(s.events.pop())
 	}
 	if s.parked > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events", s.parked))
 	}
+	s.flushCounter()
 	return s.now
 }
 
@@ -275,15 +269,28 @@ func (s *Sim) RunUntil(deadline Time) Time {
 		if !ok || t > deadline {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
-		s.now = e.at
-		e.fn()
-		if s.failure != nil {
-			panic(s.failure.(procPanic).String())
-		}
+		s.fire(s.events.pop())
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
+	s.flushCounter()
 	return s.now
+}
+
+// Executed returns the number of events fired so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// SetEventCounter installs a shared counter that accumulates the number of
+// events this simulation fires; Run and RunUntil flush into it on return.
+// The bench runner uses one counter per experiment to report simulated
+// events/sec even when an experiment runs many sims across goroutines.
+func (s *Sim) SetEventCounter(c *atomic.Int64) { s.counter = c }
+
+// flushCounter adds events fired since the last flush to the shared counter.
+func (s *Sim) flushCounter() {
+	if s.counter != nil && s.executed > 0 {
+		s.counter.Add(int64(s.executed))
+		s.executed = 0
+	}
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -211,14 +212,17 @@ func (c *Collector) Busy(res string, from, to int64) int64 {
 // WriteJSONL writes every event as one JSON object per line, in emission
 // order. The output is byte-identical across runs with the same seed and
 // configuration (the determinism the resume/calibration story depends on).
+// Writes are buffered so a large trace costs one syscall per buffer fill
+// rather than one per event; the single final Flush reports any write error.
 func (c *Collector) WriteJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
 	for _, e := range c.events {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 // ReadJSONL decodes a stream written by WriteJSONL (offline analysis).

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -185,5 +186,29 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, events) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+// errWriter fails after accepting limit bytes, forcing the buffered
+// WriteJSONL path to surface the error from its final Flush.
+type errWriter struct{ limit int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.limit {
+		n := w.limit
+		w.limit = 0
+		return n, errors.New("disk full")
+	}
+	w.limit -= len(p)
+	return len(p), nil
+}
+
+func TestWriteJSONLPropagatesWriteErrors(t *testing.T) {
+	c := collect(
+		Event{At: 0, Kind: KindQueryStart, Query: "q1"},
+		Event{At: 20, Kind: KindQueryDone, Query: "q1"},
+	)
+	if err := c.WriteJSONL(&errWriter{limit: 10}); err == nil {
+		t.Error("WriteJSONL swallowed the write error")
 	}
 }

@@ -9,6 +9,8 @@
 package wisconsin
 
 import (
+	"sync"
+
 	"gamma/internal/rel"
 )
 
@@ -99,13 +101,55 @@ func makeTuple(u1, u2 int) rel.Tuple {
 	return t
 }
 
+// genKey identifies one generated relation shape for the memo cache.
+type genKey struct {
+	n    int
+	seed uint64
+}
+
+var genMu sync.Mutex
+var genCache = map[genKey][]rel.Tuple{}
+var genCacheTuples int
+
+// genCacheLimit bounds the memo to a handful of full-size benchmark
+// relations (~10M tuples at 52 B each ≈ 500 MB worst case, far below that
+// in practice since the suite reuses a few shapes).
+const genCacheLimit = 12 << 20
+
 // Generate materializes all n tuples of a relation.
+//
+// The bench suite builds the same (n, seed) relations dozens of times —
+// once per machine configuration — so results are memoized. Callers get a
+// fresh copy each time: Machine.Load sorts and repartitions its input, so
+// the cached master must never be aliased. The memo is guarded by a mutex
+// for the parallel bench runner; generation itself stays deterministic
+// because the tuple content depends only on (n, seed).
 func Generate(n int, seed uint64) []rel.Tuple {
+	key := genKey{n, seed}
+	genMu.Lock()
+	master, ok := genCache[key]
+	genMu.Unlock()
+	if ok {
+		return append([]rel.Tuple(nil), master...)
+	}
 	p1 := NewPerm(n, seed*2+1)
 	p2 := NewPerm(n, seed*2+2)
 	out := make([]rel.Tuple, n)
 	for i := range out {
 		out[i] = makeTuple(p1.At(i), p2.At(i))
+	}
+	genMu.Lock()
+	if _, dup := genCache[key]; !dup && genCacheTuples+n <= genCacheLimit {
+		genCache[key] = out
+		genCacheTuples += n
+		master = out
+	} else {
+		master = nil
+	}
+	genMu.Unlock()
+	if master != nil {
+		// out is now the shared master; hand the caller a copy.
+		return append([]rel.Tuple(nil), out...)
 	}
 	return out
 }

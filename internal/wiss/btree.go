@@ -116,16 +116,17 @@ func (t *BTree) collectEntries() []entry {
 			es = append(es, entry{key: tp.Get(t.Attr), rid: RID{Page: int32(i), Slot: int32(s)}})
 		}
 	}
-	sort.Slice(es, func(a, b int) bool {
-		if es[a].key != es[b].key {
-			return es[a].key < es[b].key
-		}
-		if es[a].rid.Page != es[b].rid.Page {
-			return es[a].rid.Page < es[b].rid.Page
-		}
-		return es[a].rid.Slot < es[b].rid.Slot
-	})
-	return es
+	// Entries were collected in (page, slot) order, so a stable sort on key
+	// alone yields the (key, page, slot) total order.
+	keys := make([]int32, len(es))
+	for i := range es {
+		keys[i] = es[i].key
+	}
+	sorted := make([]entry, len(es))
+	for i, j := range rel.RadixPermutation(keys) {
+		sorted[i] = es[j]
+	}
+	return sorted
 }
 
 // bulkBuild constructs the tree bottom-up. Internal pages are numbered

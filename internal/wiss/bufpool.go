@@ -3,10 +3,17 @@ package wiss
 // BufferPool is a per-node LRU page cache. Because tuple data lives in host
 // memory either way, the pool tracks only residency: Get reports whether a
 // page access is a hit (no simulated I/O) or a miss.
+//
+// Residency is an intrusive doubly-linked list (head = LRU victim, tail =
+// MRU) with a map for lookup, so Get/Put/touch are O(1). Evicted nodes are
+// recycled through a freelist, so steady-state page traffic allocates
+// nothing.
 type BufferPool struct {
-	frames int
-	lru    []poolKey // front = least recently used
-	index  map[poolKey]int
+	frames     int
+	index      map[poolKey]*frameNode
+	head, tail *frameNode // head = least recently used
+	n          int        // resident pages
+	free       *frameNode // recycled nodes (chained via next)
 
 	hits, misses int64
 }
@@ -16,20 +23,24 @@ type poolKey struct {
 	page int
 }
 
+type frameNode struct {
+	key        poolKey
+	prev, next *frameNode
+}
+
 // NewBufferPool creates a pool with the given number of page frames.
 func NewBufferPool(frames int) *BufferPool {
 	if frames < 1 {
 		frames = 1
 	}
-	return &BufferPool{frames: frames, index: make(map[poolKey]int)}
+	return &BufferPool{frames: frames, index: make(map[poolKey]*frameNode)}
 }
 
 // Get reports whether (file, page) is resident, updating recency and
 // hit/miss counters.
 func (bp *BufferPool) Get(file, page int) bool {
-	k := poolKey{file, page}
-	if _, ok := bp.index[k]; ok {
-		bp.touch(k)
+	if nd, ok := bp.index[poolKey{file, page}]; ok {
+		bp.touch(nd)
 		bp.hits++
 		return true
 	}
@@ -40,56 +51,102 @@ func (bp *BufferPool) Get(file, page int) bool {
 // Put makes (file, page) resident, evicting the LRU page if the pool is full.
 func (bp *BufferPool) Put(file, page int) {
 	k := poolKey{file, page}
-	if _, ok := bp.index[k]; ok {
-		bp.touch(k)
+	if nd, ok := bp.index[k]; ok {
+		bp.touch(nd)
 		return
 	}
-	if len(bp.lru) >= bp.frames {
-		evict := bp.lru[0]
-		bp.lru = bp.lru[1:]
-		delete(bp.index, evict)
-		bp.reindex()
+	if bp.n >= bp.frames {
+		evict := bp.head
+		bp.unlink(evict)
+		delete(bp.index, evict.key)
+		bp.n--
+		bp.recycle(evict)
 	}
-	bp.lru = append(bp.lru, k)
-	bp.index[k] = len(bp.lru) - 1
+	nd := bp.alloc(k)
+	bp.pushBack(nd)
+	bp.index[k] = nd
+	bp.n++
 }
 
-// touch moves k to the MRU end.
-func (bp *BufferPool) touch(k poolKey) {
-	i := bp.index[k]
-	bp.lru = append(append(bp.lru[:i:i], bp.lru[i+1:]...), k)
-	bp.reindex()
+// touch moves nd to the MRU end.
+func (bp *BufferPool) touch(nd *frameNode) {
+	if bp.tail == nd {
+		return
+	}
+	bp.unlink(nd)
+	bp.pushBack(nd)
 }
 
-func (bp *BufferPool) reindex() {
-	for i, k := range bp.lru {
-		bp.index[k] = i
+func (bp *BufferPool) unlink(nd *frameNode) {
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		bp.head = nd.next
 	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		bp.tail = nd.prev
+	}
+	nd.prev, nd.next = nil, nil
+}
+
+func (bp *BufferPool) pushBack(nd *frameNode) {
+	nd.prev = bp.tail
+	nd.next = nil
+	if bp.tail != nil {
+		bp.tail.next = nd
+	} else {
+		bp.head = nd
+	}
+	bp.tail = nd
+}
+
+func (bp *BufferPool) alloc(k poolKey) *frameNode {
+	if nd := bp.free; nd != nil {
+		bp.free = nd.next
+		nd.key = k
+		nd.prev, nd.next = nil, nil
+		return nd
+	}
+	return &frameNode{key: k}
+}
+
+func (bp *BufferPool) recycle(nd *frameNode) {
+	nd.prev = nil
+	nd.next = bp.free
+	bp.free = nd
 }
 
 // InvalidateFile drops every resident page of the file (file deletion).
 func (bp *BufferPool) InvalidateFile(file int) {
-	keep := bp.lru[:0]
-	for _, k := range bp.lru {
-		if k.file == file {
-			delete(bp.index, k)
-		} else {
-			keep = append(keep, k)
+	for nd := bp.head; nd != nil; {
+		next := nd.next
+		if nd.key.file == file {
+			bp.unlink(nd)
+			delete(bp.index, nd.key)
+			bp.n--
+			bp.recycle(nd)
 		}
+		nd = next
 	}
-	bp.lru = keep
-	bp.reindex()
 }
 
 // Reset empties the pool (used between benchmark queries so every query
 // starts cold, matching the paper's single-user methodology).
 func (bp *BufferPool) Reset() {
-	bp.lru = nil
-	bp.index = make(map[poolKey]int)
+	for nd := bp.head; nd != nil; {
+		next := nd.next
+		bp.recycle(nd)
+		nd = next
+	}
+	bp.head, bp.tail = nil, nil
+	bp.n = 0
+	clear(bp.index)
 }
 
 // Stats returns cumulative hit/miss counts.
 func (bp *BufferPool) Stats() (hits, misses int64) { return bp.hits, bp.misses }
 
 // Len returns the number of resident pages.
-func (bp *BufferPool) Len() int { return len(bp.lru) }
+func (bp *BufferPool) Len() int { return bp.n }

@@ -2,7 +2,6 @@ package wiss
 
 import (
 	"container/heap"
-	"sort"
 
 	"gamma/internal/rel"
 	"gamma/internal/sim"
@@ -35,7 +34,7 @@ func SortFile(p *sim.Proc, src *File, key rel.Attr, memBytes int, costs SortCost
 			return
 		}
 		st.node.UseCPU(p, costs.InstrPerTupleRun*len(buf))
-		sort.SliceStable(buf, func(i, j int) bool { return buf[i].Get(key) < buf[j].Get(key) })
+		rel.SortByAttr(buf, key)
 		run := st.CreateFile(src.Name + ".run")
 		ap := run.NewAppender()
 		for _, t := range buf {

@@ -10,7 +10,6 @@ package wiss
 
 import (
 	"fmt"
-	"sort"
 
 	"gamma/internal/config"
 	"gamma/internal/nose"
@@ -170,18 +169,21 @@ func (f *File) capacity() int {
 // first and the file marked Sorted.
 func (f *File) LoadDirect(tuples []rel.Tuple, sortKey *rel.Attr) {
 	if sortKey != nil {
-		k := *sortKey
-		sort.Slice(tuples, func(i, j int) bool { return tuples[i].Get(k) < tuples[j].Get(k) })
-		f.Sorted, f.SortKey = true, k
+		rel.SortByAttr(tuples, *sortKey)
+		f.Sorted, f.SortKey = true, *sortKey
 	}
 	cap := f.capacity()
 	f.pages = nil
+	// One backing copy for the whole file; each page is a capacity-capped
+	// sub-slice, so a later append to one page reallocates instead of
+	// clobbering its neighbor.
+	backing := append([]rel.Tuple(nil), tuples...)
 	for start := 0; start < len(tuples); start += cap {
 		end := start + cap
 		if end > len(tuples) {
 			end = len(tuples)
 		}
-		pg := &Page{Tuples: append([]rel.Tuple(nil), tuples[start:end]...)}
+		pg := &Page{Tuples: backing[start:end:end]}
 		f.pages = append(f.pages, pg)
 	}
 	f.nTuples = len(tuples)
