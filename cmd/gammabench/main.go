@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	gammabench [-quick] [-list] [-parallel N] [-json] [experiment ...]
+//	gammabench [-quick] [-list] [-parallel N] [-json] [-experiment a,b] [experiment ...]
 //
-// With no experiment arguments every registered experiment runs. -quick uses
-// reduced relation sizes for a fast smoke run; the default is paper scale
-// (10k/100k/1M tuples), which regenerates every published number.
+// With no experiment arguments every registered experiment runs; experiments
+// can be named positionally or as a comma-separated -experiment list (both
+// forms combine). -quick uses reduced relation sizes for a fast smoke run;
+// the default is paper scale (10k/100k/1M tuples), which regenerates every
+// published number.
 //
 // -parallel N fans experiments and their independent data points across N
 // worker goroutines (default GOMAXPROCS). Every data point is its own
@@ -25,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"gamma/internal/bench"
@@ -32,11 +35,12 @@ import (
 
 // jsonExperiment is one experiment's entry in the -json report.
 type jsonExperiment struct {
-	ID           string  `json:"id"`
-	Title        string  `json:"title"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	SimEvents    int64   `json:"simulated_events"`
-	EventsPerSec float64 `json:"events_per_second"`
+	ID           string             `json:"id"`
+	Title        string             `json:"title"`
+	WallSeconds  float64            `json:"wall_seconds"`
+	SimEvents    int64              `json:"simulated_events"`
+	EventsPerSec float64            `json:"events_per_second"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
 }
 
 type jsonReport struct {
@@ -55,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for experiments and independent data points")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable report instead of tables")
+	experiment := fs.String("experiment", "", "comma-separated experiment `ids` to run (adds to positional ids)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file`")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +86,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	ids := fs.Args()
+	for _, id := range strings.Split(*experiment, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
 	// Reject unknown experiments up front, before hours of simulation.
 	for _, id := range ids {
 		if _, ok := bench.Lookup(id); !ok {
@@ -135,6 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				WallSeconds:  r.Wall.Seconds(),
 				SimEvents:    r.Events,
 				EventsPerSec: r.EventsPerSec(),
+				Metrics:      r.Table.Metrics,
 			})
 		}
 		enc := json.NewEncoder(stdout)

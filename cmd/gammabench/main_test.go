@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -19,8 +20,57 @@ func devNull(t *testing.T) *os.File {
 
 func TestRunRejectsUnknownFlag(t *testing.T) {
 	null := devNull(t)
-	if code := run([]string{"-experiment", "table1"}, null, null); code != 2 {
+	if code := run([]string{"-bogus", "table1"}, null, null); code != 2 {
 		t.Errorf("unknown flag: exit code %d, want 2", code)
+	}
+}
+
+// TestExperimentFlag: -experiment takes a comma-separated id list, combines
+// with positional ids, and rejects unknown names before simulating.
+func TestExperimentFlag(t *testing.T) {
+	null := devNull(t)
+	var out bytes.Buffer
+	if code := run([]string{"-quick", "-json", "-parallel", "1", "-experiment", "table3,bitvector"}, &out, null); code != 0 {
+		t.Fatalf("-experiment run: exit code %d", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if len(rep.Experiments) != 2 || rep.Experiments[0].ID != "table3" || rep.Experiments[1].ID != "bitvector" {
+		t.Errorf("experiments = %+v, want table3 then bitvector", rep.Experiments)
+	}
+	if code := run([]string{"-quick", "-experiment", "table9"}, null, null); code != 2 {
+		t.Errorf("-experiment with unknown id: exit code %d, want 2", code)
+	}
+}
+
+// TestMultiuserMetricsInJSON: the multiuser experiment's headline metrics —
+// including the shared-scan speedup — surface in the -json report.
+func TestMultiuserMetricsInJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 16 closed-loop simulations")
+	}
+	null := devNull(t)
+	var out bytes.Buffer
+	if code := run([]string{"-quick", "-json", "-parallel", "1", "-experiment", "multiuser"}, &out, null); code != 0 {
+		t.Fatalf("multiuser run: exit code %d", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if len(rep.Experiments) != 1 {
+		t.Fatalf("got %d experiments, want 1", len(rep.Experiments))
+	}
+	m := rep.Experiments[0].Metrics
+	for _, k := range []string{"qps_private_mpl8", "qps_shared_mpl8", "speedup_mpl8", "shared_pages_saved_mpl8"} {
+		if m[k] <= 0 {
+			t.Errorf("metrics[%q] = %v, want > 0 (metrics: %v)", k, m[k], m)
+		}
+	}
+	if m["speedup_mpl8"] < 2 {
+		t.Errorf("speedup_mpl8 = %.2f, want >= 2 at quick scale", m["speedup_mpl8"])
 	}
 }
 

@@ -101,6 +101,10 @@ type Table struct {
 	Columns []string
 	Rows    []Row
 	Notes   []string
+	// Metrics are headline scalar results (throughput, speedup, counters)
+	// for machine consumers: gammabench copies them into its -json report.
+	// Render does not print them; the Rows already show the same data.
+	Metrics map[string]float64
 }
 
 // Render writes the table as aligned text, showing measured values and, in

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"aggregate", "hybrid", "bitvector", "pagesize-default", "multiuser", "recovery", "scaleup",
+		"aggregate", "hybrid", "bitvector", "pagesize-default", "multiuser", "placement", "recovery", "scaleup",
 		"degraded",
 	}
 	for _, id := range want {

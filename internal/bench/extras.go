@@ -12,7 +12,7 @@ func init() {
 	register("hybrid", "Ablation: Simple vs Hybrid hash join under memory pressure (§8)", runHybrid)
 	register("bitvector", "Ablation: Babb bit-vector filters in split tables (§2)", runBitVector)
 	register("pagesize-default", "Ablation: 4 KB vs 8 KB default page size (§8)", runPageSizeDefault)
-	register("multiuser", "Multiuser: Remote joins shield concurrent selections (§6.2.1's deferred validation)", runMultiuser)
+	register("placement", "Placement: Remote joins shield concurrent selections (§6.2.1's deferred validation)", runPlacement)
 	register("recovery", "Ablation: the §8 recovery server's cost on the Table 1/3 workload", runRecovery)
 	register("scaleup", "Scaleup: constant per-processor data as processors grow", runScaleup)
 }
@@ -102,12 +102,13 @@ func runRecovery(o Options) *Table {
 	return t
 }
 
-// runMultiuser validates the expectation §6.2.1 records for "future
+// runPlacement validates the expectation §6.2.1 records for "future
 // multiuser benchmarks": offloading join operators to the diskless
 // processors lets the disk processors support concurrent selections better.
-func runMultiuser(o Options) *Table {
+// (The closed-loop throughput sweep lives in the "multiuser" experiment.)
+func runPlacement(o Options) *Table {
 	t := &Table{
-		ID:      "multiuser",
+		ID:      "placement",
 		Title:   "joinABprime concurrent with 1% selections: Local vs Remote placement",
 		Unit:    "seconds",
 		Columns: []string{"join", "selection avg"},

@@ -39,7 +39,7 @@ func TestParMapSerialWithoutSemaphore(t *testing.T) {
 // rendered tables are byte-identical. Each data point is an independent
 // simulation with a fixed seed, so scheduling must not reach the results.
 func TestSuiteSerialParallelIdentical(t *testing.T) {
-	ids := []string{"table1", "table2", "table3", "fig1", "fig5", "fig9", "fig13", "scaleup", "degraded"}
+	ids := []string{"table1", "table2", "table3", "fig1", "fig5", "fig9", "fig13", "scaleup", "degraded", "multiuser"}
 	var exps []Experiment
 	for _, id := range ids {
 		e, ok := Lookup(id)

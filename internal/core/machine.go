@@ -81,6 +81,9 @@ type Machine struct {
 
 	// Trace is the structured event collector, non-nil after EnableTrace.
 	Trace *trace.Collector
+
+	// scans is the scan-sharing layer, non-nil after EnableSharedScans.
+	scans *scanHub
 }
 
 // NewMachine builds a machine with nDisk disk processors and nDiskless
@@ -152,6 +155,42 @@ func (m *Machine) ResetPools() {
 	for _, st := range m.stores {
 		st.Pool().Reset()
 	}
+}
+
+// EnableSharedScans turns on the scan-sharing layer (SharedDB-style): while
+// it is on, concurrent heap selections of the same fragment ride one
+// circular cursor instead of each paying a private disk pass. Sharing is
+// strictly opt-in — single-user experiments keep the paper's cold-scan
+// methodology — and changes no query results, only I/O timing. Idempotent.
+func (m *Machine) EnableSharedScans() {
+	if m.scans == nil {
+		m.scans = &scanHub{m: m, active: make(map[scanKey]*sharedScan)}
+	}
+}
+
+// SharedScansEnabled reports whether the scan-sharing layer is on.
+func (m *Machine) SharedScansEnabled() bool { return m.scans != nil }
+
+// SharedScanStats returns the cumulative shared-scan page counters: pages
+// physically read by shared cursors, and page deliveries fanned to riders.
+// delivered - scanned is the number of page reads sharing saved. Both zero
+// when sharing is off.
+func (m *Machine) SharedScanStats() (scanned, delivered int64) {
+	if m.scans == nil {
+		return 0, 0
+	}
+	return m.scans.pagesScanned, m.scans.pagesDelivered
+}
+
+// PoolStats sums the cumulative buffer-pool hit/miss counters across every
+// disk node's store (counters survive ResetPools; see BufferPool.Stats).
+func (m *Machine) PoolStats() (hits, misses int64) {
+	for _, nd := range m.Disk {
+		h, ms := m.stores[nd.ID].Pool().Stats()
+		hits += h
+		misses += ms
+	}
+	return hits, misses
 }
 
 // Relation is a horizontally partitioned relation.

@@ -65,6 +65,13 @@ type Result struct {
 	DataPackets int64
 	LocalMsgs   int64
 	CtlMsgs     int64
+	// Buffer-pool activity during the query (machine-wide deltas; exact
+	// per-query for serially executed queries).
+	PoolHits   int64
+	PoolMisses int64
+	// SharedPagesSaved is the number of physical page reads the scan-sharing
+	// layer avoided during the query (0 with sharing off).
+	SharedPagesSaved int64
 	// Query is the trace span id ("q1", "q2", ...) assigned at launch.
 	Query string
 	// Diag is the bottleneck classification of the query's span, non-nil
@@ -417,6 +424,13 @@ func (ib *inbox) beginAttempt(m *Machine, res *Result) {
 // query gets its own scheduler, as in Gamma, where the dispatcher activates
 // one idle scheduler process per query, §2).
 func (m *Machine) launchQuery(res *Result, body func(p *sim.Proc, ib *inbox, schedPort *nose.Port)) {
+	m.launchQueryDone(res, body, nil)
+}
+
+// launchQueryDone is launchQuery with a completion hook: onDone (if non-nil)
+// runs in the host process after the query's result is final. The closed-loop
+// workload driver uses it to wake the issuing terminal.
+func (m *Machine) launchQueryDone(res *Result, body func(p *sim.Proc, ib *inbox, schedPort *nose.Port), onDone func()) {
 	start := m.Sim.Now()
 	m.nextQID++
 	res.Query = fmt.Sprintf("q%d", m.nextQID)
@@ -436,6 +450,9 @@ func (m *Machine) launchQuery(res *Result, body func(p *sim.Proc, ib *inbox, sch
 		hostPort.Recv(p)
 		res.Elapsed = p.Now() - start
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindQueryDone, Query: res.Query})
+		if onDone != nil {
+			onDone()
+		}
 	})
 }
 
@@ -453,12 +470,19 @@ func (m *Machine) diagnose(res *Result) {
 func (m *Machine) runQuery(res *Result, body func(p *sim.Proc, ib *inbox, schedPort *nose.Port)) {
 	m.ResetPools()
 	net0 := m.Net.Stats()
+	hits0, misses0 := m.PoolStats()
+	scanned0, delivered0 := m.SharedScanStats()
 	m.launchQuery(res, body)
 	m.Sim.Run()
 	net1 := m.Net.Stats()
 	res.DataPackets = net1.DataPackets - net0.DataPackets
 	res.LocalMsgs = net1.LocalMsgs - net0.LocalMsgs
 	res.CtlMsgs = net1.CtlMsgs - net0.CtlMsgs
+	hits1, misses1 := m.PoolStats()
+	res.PoolHits = hits1 - hits0
+	res.PoolMisses = misses1 - misses0
+	scanned1, delivered1 := m.SharedScanStats()
+	res.SharedPagesSaved = (delivered1 - delivered0) - (scanned1 - scanned0)
 	m.diagnose(res)
 }
 

@@ -84,7 +84,11 @@ func spawnSelect(m *Machine, opID string, site int, frag *Fragment, pred rel.Pre
 		n := 0
 		switch path {
 		case PathHeap:
-			n = heapSelect(p, m, frag, pred, split)
+			if m.scans != nil {
+				n = m.scans.scanShared(p, frag, pred, split, opID, site)
+			} else {
+				n = heapSelect(p, m, frag, pred, split)
+			}
 		case PathClustered:
 			n = clusteredSelect(p, m, frag, pred, split)
 		case PathNonClustered:
@@ -98,21 +102,40 @@ func spawnSelect(m *Machine, opID string, site int, frag *Fragment, pred rel.Pre
 	})
 }
 
+// forEachPage streams every page of f through fn sequentially with one page
+// of read-ahead — the single page-iteration loop behind heap selections and
+// spool scans.
+func forEachPage(p *sim.Proc, f *wiss.File, fn func(pg *wiss.Page)) {
+	sc := f.NewScanner()
+	for pg := sc.NextPage(p); pg != nil; pg = sc.NextPage(p) {
+		fn(pg)
+	}
+}
+
+// selectPage applies one query's predicate pipeline to one page: it charges
+// the per-tuple scan CPU and routes live, qualifying tuples through the
+// split table, returning the match count. Both private heap selections and
+// shared-scan riders consume pages through this, so per-query instruction
+// costs are charged identically either way.
+func selectPage(p *sim.Proc, m *Machine, frag *Fragment, pred rel.Pred, split *splitTable, pg *wiss.Page) int {
+	frag.Node.UseCPU(p, m.Prm.Engine.InstrPerTupleScan*len(pg.Tuples))
+	n := 0
+	for s, t := range pg.Tuples {
+		if pg.Live(s) && pred.Match(t) {
+			n++
+			split.send(p, t)
+		}
+	}
+	return n
+}
+
 // heapSelect reads every page of the fragment sequentially (with one page of
 // read-ahead) and applies the compiled predicate to every tuple.
 func heapSelect(p *sim.Proc, m *Machine, frag *Fragment, pred rel.Pred, split *splitTable) int {
-	eng := m.Prm.Engine
 	n := 0
-	sc := frag.File.NewScanner()
-	for pg := sc.NextPage(p); pg != nil; pg = sc.NextPage(p) {
-		frag.Node.UseCPU(p, eng.InstrPerTupleScan*len(pg.Tuples))
-		for s, t := range pg.Tuples {
-			if pg.Live(s) && pred.Match(t) {
-				n++
-				split.send(p, t)
-			}
-		}
-	}
+	forEachPage(p, frag.File, func(pg *wiss.Page) {
+		n += selectPage(p, m, frag, pred, split, pg)
+	})
 	return n
 }
 
@@ -192,15 +215,14 @@ func spawnSpoolScan(m *Machine, opID string, site int, file *wiss.File, owner, r
 		n := 0
 		if file != nil {
 			eng := m.Prm.Engine
-			for i := 0; i < file.Pages(); i++ {
-				pg := file.ReadPage(p, i)
+			forEachPage(p, file, func(pg *wiss.Page) {
 				m.Net.TransferBulk(p, owner, reader, m.Prm.PageBytes)
 				reader.UseCPU(p, eng.InstrPerTupleScan*len(pg.Tuples))
 				for _, t := range pg.Tuples {
 					n++
 					split.send(p, t)
 				}
-			}
+			})
 		}
 		split.close(p)
 		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: reader.ID, Site: site, N: n})

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/trace"
+	"gamma/internal/wiss"
+)
+
+// This file implements SharedDB-style scan sharing (Giannikis et al., VLDB
+// 2012) for heap selections. When several in-flight queries scan the same
+// fragment, one circular cursor (wiss.WrapScanner) reads each page once and
+// fans it to every attached query's predicate/split pipeline. A late
+// arrival attaches at the cursor's current position and detaches after a
+// full revolution, so it sees every page exactly once — just not starting
+// at page 0. Each rider runs selectPage itself, so per-query CPU costs
+// (predicate evaluation, split-table routing) are charged exactly as a
+// private scan would; only the physical page reads are amortized.
+//
+// Cursor duty follows the paper's self-scheduling operator style: the first
+// attacher drives the cursor from its own operator process; when it
+// completes its revolution it hands the cursor to the longest-waiting
+// rider, so a finished query is never held hostage by later arrivals.
+
+// scanKey identifies one shared cursor: a heap file on a node.
+type scanKey struct {
+	node int
+	file int
+}
+
+// scanHub is the machine-wide scan-sharing registry (see EnableSharedScans).
+type scanHub struct {
+	m      *Machine
+	active map[scanKey]*sharedScan
+
+	// Cumulative counters: physical page reads by shared cursors, and page
+	// deliveries to riders. delivered - scanned = page reads saved.
+	pagesScanned   int64
+	pagesDelivered int64
+}
+
+// sharedConsumer is one selection operator attached to a shared cursor.
+type sharedConsumer struct {
+	op    string
+	site  int
+	frag  *Fragment
+	pred  rel.Pred
+	split *splitTable
+
+	// wq blocks the rider's operator process while another consumer holds
+	// the cursor; nil for the consumer that created the scan.
+	wq *sim.WaitQ
+
+	seen      int   // pages delivered so far (done at seen == npages)
+	matched   int   // qualifying tuples routed
+	scanned   int64 // pages this consumer read while holding the cursor
+	delivered int64 // pages this consumer received (== seen, wider type)
+	done      bool
+	cursor    bool // this consumer currently drives the cursor
+}
+
+// sharedScan is one live circular scan over a fragment's heap file.
+type sharedScan struct {
+	hub       *scanHub
+	key       scanKey
+	ws        *wiss.WrapScanner
+	npages    int
+	consumers []*sharedConsumer
+	// failed holds the panic value that tore the scan down (a drive
+	// failure, typically); parked riders rethrow it in their own processes
+	// so each operator reports its own failure to its scheduler.
+	failed any
+}
+
+// scanShared runs one query's heap selection of frag through the sharing
+// layer: attach to the fragment's live cursor (or start one), receive every
+// page exactly once, detach, and return the match count. Semantically
+// identical to heapSelect.
+func (h *scanHub) scanShared(p *sim.Proc, frag *Fragment, pred rel.Pred, split *splitTable, op string, site int) int {
+	f := frag.File
+	npages := f.Pages()
+	if npages == 0 {
+		return 0
+	}
+	key := scanKey{node: frag.Node.ID, file: f.ID}
+	s := h.active[key]
+	if s != nil && s.npages != npages {
+		// The file grew or shrank under the live cursor (concurrent
+		// append); fall back to a private pass rather than share a stale
+		// page count.
+		return heapSelect(p, h.m, frag, pred, split)
+	}
+	c := &sharedConsumer{op: op, site: site, frag: frag, pred: pred, split: split}
+	if s == nil {
+		s = &sharedScan{hub: h, key: key, ws: f.NewWrapScanner(0), npages: npages}
+		h.active[key] = s
+		s.consumers = append(s.consumers, c)
+		c.cursor = true
+		h.emit(p, "attach", c, 0)
+		s.lead(p, c)
+	} else {
+		c.wq = h.m.Sim.NewWaitQ("sharedscan")
+		s.consumers = append(s.consumers, c)
+		h.emit(p, "attach", c, s.ws.NextIdx())
+		for !c.done && !c.cursor {
+			c.wq.Park(p)
+			if s.failed != nil {
+				panic(s.failed)
+			}
+		}
+		if !c.done {
+			s.lead(p, c)
+		}
+	}
+	h.emit(p, "detach", c, 0)
+	return c.matched
+}
+
+// lead drives the cursor from self's operator process until self has seen
+// the whole file, delivering each page to every attached consumer, then
+// hands the cursor to the longest-waiting rider (or retires it).
+func (s *sharedScan) lead(p *sim.Proc, self *sharedConsumer) {
+	defer s.recoverCursor(self)
+	h := s.hub
+	for !self.done {
+		// Snapshot before the read blocks: consumers attaching while the
+		// page is in flight start at the next page (the cursor position
+		// advances before the read parks), so they are excluded here.
+		snap := append([]*sharedConsumer(nil), s.consumers...)
+		prefetch := false
+		for _, c := range s.consumers {
+			if c.seen+1 < s.npages {
+				prefetch = true
+				break
+			}
+		}
+		pg := s.ws.NextPage(p, prefetch)
+		self.scanned++
+		h.pagesScanned++
+		for _, c := range snap {
+			if c.done {
+				continue
+			}
+			c.matched += selectPage(p, h.m, c.frag, c.pred, c.split, pg)
+			c.seen++
+			c.delivered++
+			h.pagesDelivered++
+			if c.seen == s.npages {
+				c.done = true
+				s.remove(c)
+				if c != self {
+					c.wq.WakeOne()
+				}
+			}
+		}
+	}
+	if len(s.consumers) > 0 {
+		next := s.consumers[0]
+		next.cursor = true
+		next.wq.WakeOne()
+	} else {
+		delete(s.hub.active, s.key)
+	}
+}
+
+// recoverCursor tears the scan down when the cursor holder panics (drive
+// failure mid-read): parked riders are woken to rethrow the failure in
+// their own processes, and the panic is propagated to the holder's own
+// failure handler. A holder killed by a node crash re-panics its kill
+// sentinel here; its riders live on the same node and were already killed
+// (and dequeued), so the wakeups below are no-ops.
+func (s *sharedScan) recoverCursor(self *sharedConsumer) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	s.failed = r
+	delete(s.hub.active, s.key)
+	for _, c := range s.consumers {
+		if c != self && !c.done && c.wq != nil {
+			c.wq.WakeOne()
+		}
+	}
+	panic(r)
+}
+
+// remove detaches a finished consumer, preserving attach order (the
+// longest-waiting rider inherits the cursor).
+func (s *sharedScan) remove(c *sharedConsumer) {
+	for i, x := range s.consumers {
+		if x == c {
+			s.consumers = append(s.consumers[:i], s.consumers[i+1:]...)
+			return
+		}
+	}
+}
+
+// emit records a shared-scan attach/detach trace event. On detach N is the
+// rider's saved page reads: pages it received minus pages it read itself.
+func (h *scanHub) emit(p *sim.Proc, class string, c *sharedConsumer, page int) {
+	e := trace.Event{
+		At:    int64(p.Now()),
+		Kind:  trace.KindSharedScan,
+		Class: class,
+		Op:    c.op,
+		Node:  c.frag.Node.ID,
+		Site:  c.site,
+		File:  c.frag.File.ID,
+	}
+	if class == "attach" {
+		e.Page = page
+	} else {
+		e.N = int(c.delivered - c.scanned)
+	}
+	h.m.Sim.Emit(e)
+}

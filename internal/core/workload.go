@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gamma/internal/nose"
+	"gamma/internal/sim"
+)
+
+// This file is the closed-loop multiuser workload driver: N simulated
+// terminals each issue a stream of queries drawn from a deterministic
+// per-terminal RNG, sleeping for a think time between them, with an
+// admission queue capping the number of queries in flight — the classic
+// closed-loop throughput harness (Gray, "A Measure of Transaction
+// Processing 20 Years Later"). It reports throughput (queries/sec of
+// simulated time), mean and p95 response time, and disk/CPU utilization,
+// the axes the shared-scan experiment sweeps against multiprogramming
+// level.
+
+// WorkloadSpec describes one closed-loop multiuser run.
+type WorkloadSpec struct {
+	// Terminals is the number of concurrent simulated users (the
+	// multiprogramming level when MaxConcurrent doesn't cap below it).
+	Terminals int
+	// PerTerminal is how many queries each terminal issues back to back.
+	PerTerminal int
+	// Think is the simulated pause between a query's completion and the
+	// terminal's next submission (0 = closed loop at full pressure).
+	Think sim.Dur
+	// Ramp staggers session starts: each terminal sleeps an RNG-drawn
+	// offset in [0, Ramp) before its first query, so the machine sees
+	// phase-shifted arrivals (real users are not phase-locked) rather than
+	// a simultaneous stampede at t=0.
+	Ramp sim.Dur
+	// MaxConcurrent caps queries admitted into execution at once; queued
+	// submissions wait in FIFO order. 0 means no cap beyond Terminals.
+	MaxConcurrent int
+	// Seed derives every terminal's private RNG stream, so a run is a pure
+	// function of (machine state, spec).
+	Seed uint64
+	// Make builds terminal term's q-th query. rng is the terminal's
+	// deterministic generator; drawing from it is how workloads mix query
+	// types and predicate ranges.
+	Make func(term, q int, rng func() uint64) ConcurrentQuery
+	// KeepResults stores each query's result relation instead of dropping
+	// it as soon as the query completes (correctness tests want the
+	// relations; throughput sweeps don't, and dropping bounds memory).
+	KeepResults bool
+}
+
+// WorkloadResult aggregates one closed-loop run.
+type WorkloadResult struct {
+	Queries int     // queries completed (Terminals × PerTerminal)
+	Tuples  int     // result tuples across all queries
+	Elapsed sim.Dur // first submission to last completion
+
+	Throughput   float64 // queries per simulated second
+	MeanResponse sim.Dur // submission (pre-admission) to completion
+	P95Response  sim.Dur
+
+	// Responses holds every query's response time, terminal-major:
+	// Responses[term*PerTerminal+q]. Byte-identical across reruns.
+	Responses []sim.Dur
+
+	// MaxInFlight is the highest number of concurrently executing queries
+	// observed (≤ MaxConcurrent when capped).
+	MaxInFlight int
+
+	// Buffer-pool and shared-scan deltas over the run.
+	PoolHits           int64
+	PoolMisses         int64
+	SharedPagesScanned int64
+	SharedPagesSaved   int64
+
+	// Mean utilization of the disk drives and of the disk+diskless node
+	// CPUs over the run window.
+	DiskUtil float64
+	CPUUtil  float64
+}
+
+// splitmix64 is the per-terminal RNG: tiny, seedable, and ours — workload
+// determinism must not depend on math/rand's version-to-version stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// admission is the FIFO gate capping concurrent queries.
+type admission struct {
+	slots    int
+	wq       *sim.WaitQ
+	inFlight int
+	maxSeen  int
+}
+
+func (a *admission) acquire(p *sim.Proc) {
+	for a.slots == 0 {
+		a.wq.Park(p)
+	}
+	a.slots--
+	a.inFlight++
+	if a.inFlight > a.maxSeen {
+		a.maxSeen = a.inFlight
+	}
+}
+
+func (a *admission) release() {
+	a.slots++
+	a.inFlight--
+	a.wq.WakeOne()
+}
+
+// RunWorkload executes one closed-loop multiuser run to completion and
+// returns its aggregate metrics. Pools are reset once at the start (the
+// steady-state mix then warms them as a real server would); the simulated
+// clock is NOT reset, so a workload composes with earlier queries on the
+// same machine.
+func (m *Machine) RunWorkload(spec WorkloadSpec) WorkloadResult {
+	if spec.Terminals <= 0 {
+		panic("core: RunWorkload needs at least one terminal")
+	}
+	if spec.PerTerminal <= 0 {
+		panic("core: RunWorkload needs PerTerminal >= 1")
+	}
+	if spec.Make == nil {
+		panic("core: RunWorkload needs a Make function")
+	}
+	m.ResetPools()
+	hits0, misses0 := m.PoolStats()
+	scanned0, delivered0 := m.SharedScanStats()
+	cpu0, disk0 := m.busySnapshot()
+
+	slots := spec.MaxConcurrent
+	if slots <= 0 || slots > spec.Terminals {
+		slots = spec.Terminals
+	}
+	adm := &admission{slots: slots, wq: m.Sim.NewWaitQ("admission")}
+
+	total := spec.Terminals * spec.PerTerminal
+	responses := make([]sim.Dur, total)
+	start := m.Sim.Now()
+	var lastDone sim.Time
+	tuples := 0
+	for term := 0; term < spec.Terminals; term++ {
+		term := term
+		state := spec.Seed + uint64(term)*0x9E3779B97F4A7C15 + 1
+		rng := func() uint64 { return splitmix64(&state) }
+		m.Sim.Spawn(fmt.Sprintf("terminal%d", term), func(p *sim.Proc) {
+			if spec.Ramp > 0 {
+				p.Sleep(sim.Dur(rng() % uint64(spec.Ramp)))
+			}
+			for q := 0; q < spec.PerTerminal; q++ {
+				cq := spec.Make(term, q, rng)
+				submitted := p.Now()
+				adm.acquire(p)
+				var res Result
+				var body func(*sim.Proc, *inbox, *nose.Port)
+				switch {
+				case cq.Select != nil:
+					body = m.selectBody(*cq.Select, &res)
+				case cq.Join != nil:
+					body = m.joinBody(*cq.Join, &res)
+				default:
+					panic("core: empty ConcurrentQuery from WorkloadSpec.Make")
+				}
+				done := false
+				doneQ := m.Sim.NewWaitQ("query-done")
+				m.launchQueryDone(&res, body, func() {
+					done = true
+					doneQ.WakeOne()
+				})
+				for !done {
+					doneQ.Park(p)
+				}
+				adm.release()
+				now := p.Now()
+				responses[term*spec.PerTerminal+q] = now - submitted
+				if now > lastDone {
+					lastDone = now
+				}
+				tuples += res.Tuples
+				if !spec.KeepResults && res.ResultName != "" {
+					m.Drop(res.ResultName)
+				}
+				if spec.Think > 0 && q+1 < spec.PerTerminal {
+					p.Sleep(spec.Think)
+				}
+			}
+		})
+	}
+	m.Sim.Run()
+
+	out := WorkloadResult{
+		Queries:   total,
+		Tuples:    tuples,
+		Elapsed:   lastDone - start,
+		Responses: responses,
+	}
+	if out.Elapsed > 0 {
+		out.Throughput = float64(total) / out.Elapsed.Seconds()
+	}
+	var sum sim.Dur
+	for _, r := range responses {
+		sum += r
+	}
+	out.MeanResponse = sum / sim.Dur(total)
+	sorted := append([]sim.Dur(nil), responses...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (total*95 + 99) / 100
+	if idx > total {
+		idx = total
+	}
+	out.P95Response = sorted[idx-1]
+	out.MaxInFlight = adm.maxSeen
+
+	hits1, misses1 := m.PoolStats()
+	out.PoolHits = hits1 - hits0
+	out.PoolMisses = misses1 - misses0
+	scanned1, delivered1 := m.SharedScanStats()
+	out.SharedPagesScanned = scanned1 - scanned0
+	out.SharedPagesSaved = (delivered1 - delivered0) - (scanned1 - scanned0)
+
+	cpu1, disk1 := m.busySnapshot()
+	if out.Elapsed > 0 {
+		nCPU := len(m.Disk) + len(m.Diskless)
+		out.CPUUtil = (cpu1 - cpu0).Seconds() / (out.Elapsed.Seconds() * float64(nCPU))
+		out.DiskUtil = (disk1 - disk0).Seconds() / (out.Elapsed.Seconds() * float64(len(m.Disk)))
+	}
+	return out
+}
+
+// busySnapshot sums cumulative busy time over the disk+diskless node CPUs
+// and over the disk drives.
+func (m *Machine) busySnapshot() (cpu, disk sim.Dur) {
+	for _, nd := range m.Disk {
+		b, _, _ := nd.CPU.Stats()
+		cpu += b
+		db, _, _ := nd.Drive.Resource().Stats()
+		disk += db
+	}
+	for _, nd := range m.Diskless {
+		b, _, _ := nd.CPU.Stats()
+		cpu += b
+	}
+	return cpu, disk
+}

@@ -56,6 +56,7 @@ type Collector struct {
 
 	faults    []Event // KindFault events, in emission order
 	failovers []Event // KindFailover events, in emission order
+	shared    []Event // KindSharedScan events, in emission order
 }
 
 // NewCollector returns an empty collector.
@@ -110,6 +111,8 @@ func (c *Collector) Emit(e Event) {
 		c.faults = append(c.faults, e)
 	case KindFailover:
 		c.failovers = append(c.failovers, e)
+	case KindSharedScan:
+		c.shared = append(c.shared, e)
 	}
 }
 
@@ -177,6 +180,9 @@ func (c *Collector) Faults() []Event { return c.faults }
 
 // Failovers returns every failover (abort/retry) event in emission order.
 func (c *Collector) Failovers() []Event { return c.failovers }
+
+// SharedScans returns every shared-scan attach/detach event in emission order.
+func (c *Collector) SharedScans() []Event { return c.shared }
 
 // Resources returns every resource name seen, in registration order.
 func (c *Collector) Resources() []string {

@@ -32,6 +32,12 @@ type Verdict struct {
 	// a healthy run.
 	Faults  []string
 	Retries int
+
+	// Shared-scan context: how many operators attached to a shared cursor
+	// inside the window, and how many page reads riding those cursors saved
+	// versus private scans. Both zero when scan sharing is off.
+	SharedAttaches   int
+	SharedSavedPages int
 }
 
 // classRank breaks exact utilization ties deterministically, preferring the
@@ -99,6 +105,17 @@ func (c *Collector) Diagnose(from, to int64) Verdict {
 			v.Retries++
 		}
 	}
+	for _, e := range c.shared {
+		if e.At < from || e.At > to {
+			continue
+		}
+		switch e.Class {
+		case "attach":
+			v.SharedAttaches++
+		case "detach":
+			v.SharedSavedPages += e.N
+		}
+	}
 	return v
 }
 
@@ -138,6 +155,10 @@ func (v Verdict) String() string {
 		} else if v.Retries > 1 {
 			s += fmt.Sprintf(" (%d retries)", v.Retries)
 		}
+	}
+	if v.SharedAttaches > 0 || v.SharedSavedPages > 0 {
+		s += fmt.Sprintf("; shared scans: %d attaches saved %d page reads",
+			v.SharedAttaches, v.SharedSavedPages)
 	}
 	return s
 }

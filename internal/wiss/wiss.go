@@ -399,3 +399,60 @@ func (s *Scanner) NextPage(p *sim.Proc) *Page {
 	p.WaitUntil(ready)
 	return pg
 }
+
+// WrapScanner is a circular page cursor: it starts at an arbitrary page and
+// wraps past the end of the file back to page 0, never terminating on its
+// own. Shared scans use it — each rider tracks how many pages it has seen
+// and detaches after a full revolution, while the cursor itself keeps
+// turning for later arrivals. The one-page read-ahead state lives in the
+// scanner, not the driving process, so the cursor can be handed between
+// processes without losing a pending prefetch.
+type WrapScanner struct {
+	f          *File
+	next       int
+	pending    *Page
+	pendingIdx int
+	pendingAt  sim.Time
+	hasPending bool
+}
+
+// NewWrapScanner returns a circular cursor positioned at page start
+// (modulo the file length).
+func (f *File) NewWrapScanner(start int) *WrapScanner {
+	ws := &WrapScanner{f: f}
+	if n := len(f.pages); n > 0 {
+		ws.next = ((start % n) + n) % n
+	}
+	return ws
+}
+
+// NextIdx returns the page number the next NextPage call will deliver.
+func (ws *WrapScanner) NextIdx() int { return ws.next }
+
+// NextPage reads the cursor's next page (wrapping at EOF), optionally
+// issuing a read-ahead for the page after it, and advances the cursor.
+// Returns nil only for an empty file.
+func (ws *WrapScanner) NextPage(p *sim.Proc, prefetch bool) *Page {
+	f := ws.f
+	n := len(f.pages)
+	if n == 0 {
+		return nil
+	}
+	idx := ws.next
+	ws.next = (idx + 1) % n
+	var pg *Page
+	var ready sim.Time
+	if ws.hasPending && ws.pendingIdx == idx {
+		pg, ready = ws.pending, ws.pendingAt
+	} else {
+		pg, ready = f.ReadPageAsync(p, idx)
+	}
+	ws.hasPending = false
+	if prefetch {
+		ws.pending, ws.pendingAt = f.ReadPageAsync(p, ws.next)
+		ws.pendingIdx = ws.next
+		ws.hasPending = true
+	}
+	p.WaitUntil(ready)
+	return pg
+}
