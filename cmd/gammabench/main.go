@@ -34,13 +34,22 @@ import (
 )
 
 // jsonExperiment is one experiment's entry in the -json report.
+// wall_seconds keeps its historical meaning (total experiment wall clock);
+// setup_wall_seconds/query_wall_seconds split it into machine-image
+// build/restore time vs query simulation time. Setup is cumulative across an
+// experiment's data points, so under -parallel it can exceed wall_seconds;
+// query_wall_seconds is clamped at zero in that case.
 type jsonExperiment struct {
-	ID           string             `json:"id"`
-	Title        string             `json:"title"`
-	WallSeconds  float64            `json:"wall_seconds"`
-	SimEvents    int64              `json:"simulated_events"`
-	EventsPerSec float64            `json:"events_per_second"`
-	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	ID               string             `json:"id"`
+	Title            string             `json:"title"`
+	WallSeconds      float64            `json:"wall_seconds"`
+	SetupWallSeconds float64            `json:"setup_wall_seconds"`
+	QueryWallSeconds float64            `json:"query_wall_seconds"`
+	SimEvents        int64              `json:"simulated_events"`
+	EventsPerSec     float64            `json:"events_per_second"`
+	ImageCacheHits   int64              `json:"image_cache_hits"`
+	ImageCacheMisses int64              `json:"image_cache_misses"`
+	Metrics          map[string]float64 `json:"metrics,omitempty"`
 }
 
 type jsonReport struct {
@@ -48,6 +57,8 @@ type jsonReport struct {
 	Workers          int              `json:"workers"`
 	GoMaxProcs       int              `json:"gomaxprocs"`
 	TotalWallSeconds float64          `json:"total_wall_seconds"`
+	ImageCacheHits   int64            `json:"image_cache_hits"`
+	ImageCacheMisses int64            `json:"image_cache_misses"`
 	Experiments      []jsonExperiment `json:"experiments"`
 }
 
@@ -139,13 +150,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			TotalWallSeconds: total.Seconds(),
 		}
 		for _, r := range reports {
+			rep.ImageCacheHits += r.ImageHits
+			rep.ImageCacheMisses += r.ImageMisses
 			rep.Experiments = append(rep.Experiments, jsonExperiment{
-				ID:           r.ID,
-				Title:        r.Title,
-				WallSeconds:  r.Wall.Seconds(),
-				SimEvents:    r.Events,
-				EventsPerSec: r.EventsPerSec(),
-				Metrics:      r.Table.Metrics,
+				ID:               r.ID,
+				Title:            r.Title,
+				WallSeconds:      r.Wall.Seconds(),
+				SetupWallSeconds: r.Setup.Seconds(),
+				QueryWallSeconds: r.QueryWall().Seconds(),
+				SimEvents:        r.Events,
+				EventsPerSec:     r.EventsPerSec(),
+				ImageCacheHits:   r.ImageHits,
+				ImageCacheMisses: r.ImageMisses,
+				Metrics:          r.Table.Metrics,
 			})
 		}
 		enc := json.NewEncoder(stdout)
@@ -157,11 +174,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		// Tables go to stdout; wall-clock chatter goes to stderr so the
 		// rendered output is byte-identical at any -parallel setting.
+		var hits, misses int64
 		for _, r := range reports {
 			r.Table.Render(stdout)
-			fmt.Fprintf(stderr, "   [%s regenerated in %.1fs wall time, %.1fM simulated events/s]\n\n",
-				r.ID, r.Wall.Seconds(), r.EventsPerSec()/1e6)
+			hits += r.ImageHits
+			misses += r.ImageMisses
+			fmt.Fprintf(stderr, "   [%s regenerated in %.1fs wall time (%.1fs setup + %.1fs query), %.1fM simulated events/s, images %d hit/%d miss]\n\n",
+				r.ID, r.Wall.Seconds(), r.Setup.Seconds(), r.QueryWall().Seconds(),
+				r.EventsPerSec()/1e6, r.ImageHits, r.ImageMisses)
 		}
+		fmt.Fprintf(stderr, "   [machine-image cache: %d restores, %d builds]\n", hits, misses)
 	}
 
 	if *memprofile != "" {

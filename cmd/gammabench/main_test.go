@@ -74,6 +74,48 @@ func TestMultiuserMetricsInJSON(t *testing.T) {
 	}
 }
 
+// TestJSONSetupQuerySplitAndCacheCounters: the -json report carries the
+// setup/query wall split (old field names intact) and the machine-image
+// cache counters, per experiment and as suite totals.
+func TestJSONSetupQuerySplitAndCacheCounters(t *testing.T) {
+	null := devNull(t)
+	var out bytes.Buffer
+	// bitvector runs two machines off one image: 1 miss + 1 hit guaranteed.
+	if code := run([]string{"-quick", "-json", "-parallel", "1", "-experiment", "bitvector"}, &out, null); code != 0 {
+		t.Fatalf("bitvector run: exit code %d", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if len(rep.Experiments) != 1 {
+		t.Fatalf("got %d experiments, want 1", len(rep.Experiments))
+	}
+	e := rep.Experiments[0]
+	if e.WallSeconds <= 0 || e.SetupWallSeconds <= 0 || e.QueryWallSeconds <= 0 {
+		t.Errorf("wall split: wall=%v setup=%v query=%v, want all > 0",
+			e.WallSeconds, e.SetupWallSeconds, e.QueryWallSeconds)
+	}
+	if got := e.SetupWallSeconds + e.QueryWallSeconds; got > e.WallSeconds*1.001 {
+		t.Errorf("serial run: setup+query = %v exceeds wall %v", got, e.WallSeconds)
+	}
+	if e.ImageCacheHits < 1 || e.ImageCacheMisses < 1 {
+		t.Errorf("image cache counters: hits=%d misses=%d, want both >= 1",
+			e.ImageCacheHits, e.ImageCacheMisses)
+	}
+	if rep.ImageCacheHits != e.ImageCacheHits || rep.ImageCacheMisses != e.ImageCacheMisses {
+		t.Errorf("suite totals (%d/%d) != experiment counters (%d/%d)",
+			rep.ImageCacheHits, rep.ImageCacheMisses, e.ImageCacheHits, e.ImageCacheMisses)
+	}
+	// Raw field names are part of the tooling contract.
+	for _, field := range []string{`"wall_seconds"`, `"setup_wall_seconds"`, `"query_wall_seconds"`,
+		`"image_cache_hits"`, `"image_cache_misses"`, `"simulated_events"`} {
+		if !bytes.Contains(out.Bytes(), []byte(field)) {
+			t.Errorf("-json output missing field %s", field)
+		}
+	}
+}
+
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	null := devNull(t)
 	if code := run([]string{"-quick", "table9"}, null, null); code != 2 {

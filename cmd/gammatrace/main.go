@@ -129,7 +129,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	pred := rel.Between(rel.Unique2, 0, int32(float64(*tuples)**selPct/100)-1)
-	snap := m.Snapshot()
+	snap := m.SnapshotUtil()
 	var res core.Result
 	switch *query {
 	case "select":

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"gamma/internal/config"
 	"gamma/internal/core"
@@ -41,6 +42,32 @@ type Options struct {
 	// simulated events across every machine the experiment builds.
 	sem    chan struct{}
 	events *atomic.Int64
+
+	// images is the suite-wide machine-image cache (see imagecache.go);
+	// nil means every data point builds its database from scratch, which is
+	// the reference the cached path must match byte-for-byte. setup
+	// accumulates machine-build wall time (nanoseconds) and imgHits /
+	// imgMisses the cache counters, all per experiment.
+	images             *imageCache
+	setup              *atomic.Int64
+	imgHits, imgMisses *atomic.Int64
+}
+
+// addSetup charges the time since start to the experiment's setup clock.
+func (o Options) addSetup(start time.Time) {
+	if o.setup != nil {
+		o.setup.Add(int64(time.Since(start)))
+	}
+}
+
+// noteImage records one image-cache lookup.
+func (o Options) noteImage(hit bool) {
+	switch {
+	case hit && o.imgHits != nil:
+		o.imgHits.Add(1)
+	case !hit && o.imgMisses != nil:
+		o.imgMisses.Add(1)
+	}
 }
 
 // Full returns the paper-scale options.
@@ -174,6 +201,80 @@ func Lookup(id string) (Experiment, bool) {
 
 // --- machine setup -------------------------------------------------------
 
+// relSpec declares one relation of a machine image: everything Load needs,
+// in a comparable/printable form so it can be part of an image-cache key.
+type relSpec struct {
+	name     string
+	n        int
+	seed     uint64
+	strategy core.PartStrategy
+	partAttr rel.Attr
+	// indexed: clustered B-tree on unique1 plus a dense index on unique2
+	// (the paper's "Aidx" physical version).
+	indexed bool
+}
+
+// heapRel is the common case: a hash-declustered heap with no indexes.
+func heapRel(name string, n int, seed uint64) relSpec {
+	return relSpec{name: name, n: n, seed: seed, strategy: core.Hashed, partAttr: rel.Unique1}
+}
+
+// gammaRels is the standard benchmark database: the n-tuple relation in both
+// physical versions (heap and fully indexed).
+func gammaRels(n int, seed uint64) []relSpec {
+	return []relSpec{
+		{name: "Aheap", n: n, seed: seed, strategy: core.Hashed, partAttr: rel.Unique1},
+		{name: "Aidx", n: n, seed: seed, strategy: core.Hashed, partAttr: rel.Unique1, indexed: true},
+	}
+}
+
+// loadSpecRel applies one relSpec to a machine.
+func loadSpecRel(m *core.Machine, rs relSpec) {
+	spec := core.LoadSpec{Name: rs.name, Strategy: rs.strategy, PartAttr: rs.partAttr}
+	if rs.indexed {
+		u1 := rel.Unique1
+		spec.ClusteredIndex = &u1
+		spec.NonClusteredIndexes = []rel.Attr{rel.Unique2}
+	}
+	m.Load(spec, wisconsin.Generate(rs.n, rs.seed))
+}
+
+// gammaMachine returns a loaded Gamma machine on a fresh simulation. With an
+// image cache (any RunSuite run) the database is built and snapshotted once
+// per distinct (geometry, mirroring, params, relations) key and every other
+// request restores the snapshot copy-on-write; without one (o.images == nil,
+// the uncached reference path) it is built from scratch. Both paths are
+// byte-identical downstream: loading is free and eventless, restores rebase
+// onto sim t=0 with cold buffer pools, and file ids and name counters are
+// preserved by the snapshot.
+func (o Options) gammaMachine(nDisk, nDiskless int, mirrored bool, specs []relSpec) *core.Machine {
+	defer o.addSetup(time.Now())
+	build := func(s *sim.Sim) *core.Machine {
+		p := o.params()
+		m := core.NewMachine(s, &p, nDisk, nDiskless)
+		if mirrored {
+			m.EnableMirroring()
+		}
+		for _, rs := range specs {
+			loadSpecRel(m, rs)
+		}
+		return m
+	}
+	if o.images == nil {
+		return build(o.newSim())
+	}
+	key := imageKey{nDisk: nDisk, nDiskless: nDiskless, mirrored: mirrored,
+		prm: o.params(), rels: relsKey(specs)}
+	snap, hit := o.images.get(key, func() *core.Snapshot {
+		// The image is built on a throwaway simulator: loading schedules no
+		// events, so the suite's event counters see exactly what an uncached
+		// run's would.
+		return build(sim.New()).Snapshot()
+	})
+	o.noteImage(hit)
+	return core.RestoreMachine(o.newSim(), snap)
+}
+
 // gammaSetup is one Gamma machine with the standard benchmark relations.
 type gammaSetup struct {
 	m *core.Machine
@@ -184,26 +285,27 @@ type gammaSetup struct {
 }
 
 // newGamma builds a Gamma machine with nDisk+nDiskless processors and loads
-// an n-tuple relation in both physical versions.
-func newGamma(o Options, nDisk, nDiskless, n int, seed uint64) *gammaSetup {
-	s := o.newSim()
-	p := o.params()
-	m := core.NewMachine(s, &p, nDisk, nDiskless)
-	ts := wisconsin.Generate(n, seed)
-	u1 := rel.Unique1
+// an n-tuple relation in both physical versions, plus any extra relations —
+// part of the image, so they cache with it.
+func newGamma(o Options, nDisk, nDiskless, n int, seed uint64, extras ...relSpec) *gammaSetup {
+	m := o.gammaMachine(nDisk, nDiskless, false, append(gammaRels(n, seed), extras...))
+	return setupFrom(m)
+}
+
+func setupFrom(m *core.Machine) *gammaSetup {
 	g := &gammaSetup{m: m}
-	g.heap = m.Load(core.LoadSpec{Name: "Aheap", Strategy: core.Hashed, PartAttr: rel.Unique1}, ts)
-	g.idx = m.Load(core.LoadSpec{
-		Name: "Aidx", Strategy: core.Hashed, PartAttr: rel.Unique1,
-		ClusteredIndex: &u1, NonClusteredIndexes: []rel.Attr{rel.Unique2},
-	}, ts)
+	g.heap = g.rel("Aheap")
+	g.idx = g.rel("Aidx")
 	return g
 }
 
-// loadExtra loads an additional heap relation on the same machine.
-func (g *gammaSetup) loadExtra(name string, n int, seed uint64) *core.Relation {
-	return g.m.Load(core.LoadSpec{Name: name, Strategy: core.Hashed, PartAttr: rel.Unique1},
-		wisconsin.Generate(n, seed))
+// rel returns a relation loaded into the machine image by name.
+func (g *gammaSetup) rel(name string) *core.Relation {
+	r, ok := g.m.Relation(name)
+	if !ok {
+		panic("bench: relation " + name + " missing from machine image")
+	}
+	return r
 }
 
 // selectSecs runs a selection and returns simulated seconds, dropping the

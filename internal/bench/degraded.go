@@ -13,21 +13,12 @@ func init() {
 
 // newGammaMirrored is newGamma with chained-declustered backups, the
 // configuration the degraded-mode experiment runs in every column so the
-// fault-free baseline carries the same storage layout.
-func newGammaMirrored(o Options, nDisk, nDiskless, n int, seed uint64) *gammaSetup {
-	s := o.newSim()
-	p := o.params()
-	m := core.NewMachine(s, &p, nDisk, nDiskless)
-	m.EnableMirroring()
-	g := &gammaSetup{m: m}
-	ts := genRel(n, seed)
-	u1 := rel.Unique1
-	g.heap = m.Load(core.LoadSpec{Name: "Aheap", Strategy: core.Hashed, PartAttr: rel.Unique1}, ts)
-	g.idx = m.Load(core.LoadSpec{
-		Name: "Aidx", Strategy: core.Hashed, PartAttr: rel.Unique1,
-		ClusteredIndex: &u1, NonClusteredIndexes: []rel.Attr{rel.Unique2},
-	}, ts)
-	return g
+// fault-free baseline carries the same storage layout. The three fault
+// conditions of each row restore the same cached image: crashes and failover
+// are post-restore toggles, not part of the image.
+func newGammaMirrored(o Options, nDisk, nDiskless, n int, seed uint64, extras ...relSpec) *gammaSetup {
+	m := o.gammaMachine(nDisk, nDiskless, true, append(gammaRels(n, seed), extras...))
+	return setupFrom(m)
 }
 
 // runDegraded measures the Table 1 selection variants and joinAselB on a
@@ -46,39 +37,40 @@ func runDegraded(o Options) *Table {
 	}
 
 	type rowSpec struct {
-		label string
-		run   func(g *gammaSetup, n int) float64
+		label  string
+		extras []relSpec
+		run    func(g *gammaSetup, n int) float64
 	}
 	sel := func(q func(g *gammaSetup, n int) core.SelectQuery) func(g *gammaSetup, n int) float64 {
 		return func(g *gammaSetup, n int) float64 { return g.selectSecs(q(g, n)) }
 	}
 	rows := []rowSpec{
-		{"1% nonindexed selection", sel(func(g *gammaSetup, n int) core.SelectQuery {
+		{"1% nonindexed selection", nil, sel(func(g *gammaSetup, n int) core.SelectQuery {
 			return core.SelectQuery{Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 1), Path: core.PathHeap}}
 		})},
-		{"10% nonindexed selection", sel(func(g *gammaSetup, n int) core.SelectQuery {
+		{"10% nonindexed selection", nil, sel(func(g *gammaSetup, n int) core.SelectQuery {
 			return core.SelectQuery{Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 10), Path: core.PathHeap}}
 		})},
-		{"1% selection using non-clustered index", sel(func(g *gammaSetup, n int) core.SelectQuery {
+		{"1% selection using non-clustered index", nil, sel(func(g *gammaSetup, n int) core.SelectQuery {
 			return core.SelectQuery{Scan: core.ScanSpec{Rel: g.idx, Pred: pct(rel.Unique2, n, 1), Path: core.PathNonClustered}}
 		})},
-		{"10% selection using non-clustered index", sel(func(g *gammaSetup, n int) core.SelectQuery {
+		{"10% selection using non-clustered index", nil, sel(func(g *gammaSetup, n int) core.SelectQuery {
 			return core.SelectQuery{Scan: core.ScanSpec{Rel: g.idx, Pred: pct(rel.Unique2, n, 10), Path: core.PathHeap}}
 		})},
-		{"1% selection using clustered index", sel(func(g *gammaSetup, n int) core.SelectQuery {
+		{"1% selection using clustered index", nil, sel(func(g *gammaSetup, n int) core.SelectQuery {
 			return core.SelectQuery{Scan: core.ScanSpec{Rel: g.idx, Pred: pct(rel.Unique1, n, 1), Path: core.PathClustered}}
 		})},
-		{"10% selection using clustered index", sel(func(g *gammaSetup, n int) core.SelectQuery {
+		{"10% selection using clustered index", nil, sel(func(g *gammaSetup, n int) core.SelectQuery {
 			return core.SelectQuery{Scan: core.ScanSpec{Rel: g.idx, Pred: pct(rel.Unique1, n, 10), Path: core.PathClustered}}
 		})},
-		{"single tuple select", sel(func(g *gammaSetup, n int) core.SelectQuery {
+		{"single tuple select", nil, sel(func(g *gammaSetup, n int) core.SelectQuery {
 			return core.SelectQuery{
 				Scan:   core.ScanSpec{Rel: g.idx, Pred: rel.Eq(rel.Unique1, int32(n/2)), Path: core.PathClustered},
 				ToHost: true,
 			}
 		})},
-		{"joinAselB (10% selections)", func(g *gammaSetup, n int) float64 {
-			b := g.loadExtra("B", n, 8)
+		{"joinAselB (10% selections)", []relSpec{heapRel("B", n, 8)}, func(g *gammaSetup, n int) float64 {
+			b := g.rel("B")
 			tenPct := pct(rel.Unique2, n, 10)
 			res := g.joinRun(core.JoinQuery{
 				Build: core.ScanSpec{Rel: b, Pred: tenPct, Path: core.PathHeap}, BuildAttr: rel.Unique2,
@@ -96,20 +88,20 @@ func runDegraded(o Options) *Table {
 		r := rows[i]
 		// Fault-free, failover machinery armed so its overhead is in the
 		// baseline.
-		g := newGammaMirrored(o, nDisk, nDiskless, n, 1)
+		g := newGammaMirrored(o, nDisk, nDiskless, n, 1, r.extras...)
 		g.m.EnableFailover(0)
 		ff := r.run(g, n)
 
 		// One node already down before the query starts: every scan of its
 		// fragment runs from the chained-declustered backup.
-		g = newGammaMirrored(o, nDisk, nDiskless, n, 1)
+		g = newGammaMirrored(o, nDisk, nDiskless, n, 1, r.extras...)
 		g.m.EnableFailover(0)
 		g.m.CrashDisk(crashSite)
 		down := r.run(g, n)
 
 		// The same node crashes halfway through the fault-free response
 		// time: detection, abort, and a full retry are all on the clock.
-		g = newGammaMirrored(o, nDisk, nDiskless, n, 1)
+		g = newGammaMirrored(o, nDisk, nDiskless, n, 1, r.extras...)
 		fault.Arm(g.m, fault.Schedule{Injections: []fault.Injection{
 			fault.Crash(g.m.Sim.Now()+sim.Time(ff/2*float64(sim.Second)), crashSite),
 		}})

@@ -32,8 +32,8 @@ func runScaleup(o Options) *Table {
 	t.Rows = parMap(o, o.MaxProcs, func(i int) Row {
 		d := i + 1
 		n := perProc * d
-		g := newGamma(o, d, d, n, 1)
-		bp := g.loadExtra("Bprime", n/10, 7)
+		g := newGamma(o, d, d, n, 1, heapRel("Bprime", n/10, 7))
+		bp := g.rel("Bprime")
 		sel := g.selectSecs(core.SelectQuery{
 			Scan: core.ScanSpec{Rel: g.heap, Pred: pct(rel.Unique2, n, 1), Path: core.PathHeap},
 		})
@@ -117,8 +117,8 @@ func runPlacement(o Options) *Table {
 	modes := []core.JoinMode{core.Local, core.Remote, core.AllNodes}
 	t.Rows = parMap(o, len(modes), func(i int) Row {
 		mode := modes[i]
-		g := newGamma(o, 8, 8, n, 1)
-		bp := g.loadExtra("Bprime", n/10, 7)
+		g := newGamma(o, 8, 8, n, 1, heapRel("Bprime", n/10, 7))
+		bp := g.rel("Bprime")
 		join := core.JoinQuery{
 			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
 			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique2,
@@ -196,8 +196,8 @@ func runHybrid(o Options) *Table {
 		ratio := fig13Ratios[i]
 		row := Row{Label: fmt.Sprintf("memory/smaller relation = %.2f", ratio)}
 		for _, algo := range []core.JoinAlgorithm{core.SimpleHash, core.HybridHash} {
-			g := newGamma(o, 8, 8, n, 1)
-			bp := g.loadExtra("Bprime", n/10, 7)
+			g := newGamma(o, 8, 8, n, 1, heapRel("Bprime", n/10, 7))
+			bp := g.rel("Bprime")
 			nJoin := len(g.m.JoinNodes(core.Remote))
 			res := g.joinRun(core.JoinQuery{
 				Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique1,
@@ -226,8 +226,8 @@ func runBitVector(o Options) *Table {
 	}
 	n := o.FigureTuples
 	run := func(filter bool) core.Result {
-		g := newGamma(o, 8, 8, n, 1)
-		bp := g.loadExtra("Bprime", n/10, 7)
+		g := newGamma(o, 8, 8, n, 1, heapRel("Bprime", n/10, 7))
+		bp := g.rel("Bprime")
 		return g.joinRun(core.JoinQuery{
 			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: rel.Unique2,
 			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: rel.Unique2,

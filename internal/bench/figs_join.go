@@ -31,8 +31,8 @@ func figJoinData(o Options, attr rel.Attr) (procs []int, series [][]float64) {
 	// Every (processors, mode) point builds its own machine — fan them out.
 	pts := parMap(o, o.MaxProcs*len(joinModes), func(i int) float64 {
 		d, mode := i/len(joinModes)+1, joinModes[i%len(joinModes)]
-		g := newGamma(o, d, d, o.FigureTuples, 1)
-		bp := g.loadExtra("Bprime", o.FigureTuples/10, 7)
+		g := newGamma(o, d, d, o.FigureTuples, 1, heapRel("Bprime", o.FigureTuples/10, 7))
+		bp := g.rel("Bprime")
 		res := g.joinRun(core.JoinQuery{
 			Build: core.ScanSpec{Rel: bp, Pred: rel.True(), Path: core.PathHeap}, BuildAttr: attr,
 			Probe: core.ScanSpec{Rel: g.heap, Pred: rel.True(), Path: core.PathHeap}, ProbeAttr: attr,
@@ -112,8 +112,8 @@ func runFig13(o Options) *Table {
 	fig13Modes := []core.JoinMode{core.Local, core.Remote}
 	pts := parMap(o, len(fig13Ratios)*len(fig13Modes), func(i int) Cell {
 		ratio, mode := fig13Ratios[i/len(fig13Modes)], fig13Modes[i%len(fig13Modes)]
-		g := newGamma(o, 8, 8, n, 1)
-		bp := g.loadExtra("Bprime", n/10, 7)
+		g := newGamma(o, 8, 8, n, 1, heapRel("Bprime", n/10, 7))
+		bp := g.rel("Bprime")
 		nJoin := len(g.m.JoinNodes(mode))
 		memPer := int(ratio * float64(buildBytes) / float64(nJoin))
 		res := g.joinRun(core.JoinQuery{
@@ -143,8 +143,8 @@ func runFig13(o Options) *Table {
 func fig14Data(o Options) []float64 {
 	n := o.FigureTuples
 	return parMap(o, len(pageSizes), func(i int) float64 {
-		g := newGamma(o.withPage(pageSizes[i]), 8, 8, n, 1)
-		b := g.loadExtra("B", n, 8)
+		g := newGamma(o.withPage(pageSizes[i]), 8, 8, n, 1, heapRel("B", n, 8))
+		b := g.rel("B")
 		tenPct := pct(rel.Unique2, n, 10)
 		res := g.joinRun(core.JoinQuery{
 			Build: core.ScanSpec{Rel: b, Pred: tenPct, Path: core.PathHeap}, BuildAttr: rel.Unique2,

@@ -6,7 +6,6 @@ import (
 	"gamma/internal/core"
 	"gamma/internal/rel"
 	"gamma/internal/sim"
-	"gamma/internal/wisconsin"
 )
 
 func init() {
@@ -41,26 +40,31 @@ type muRow struct {
 
 // muRun executes one closed-loop run and returns its metrics.
 func muRun(o Options, spec muRow, shared bool) core.WorkloadResult {
-	s := o.newSim()
-	p := o.params()
 	nDiskless := 0
 	if spec.joins {
 		// Join rows need diskless processors for Remote placement; the
 		// selection-only rows keep the proven 4-disk configuration.
 		nDiskless = muDisks
 	}
-	m := core.NewMachine(s, &p, muDisks, nDiskless)
 	tuples := 2 * o.FigureTuples
+	specs := make([]relSpec, muRels)
+	for i := range specs {
+		specs[i] = relSpec{name: fmt.Sprintf("Mu%c", 'A'+i), n: tuples,
+			seed: uint64(11 + i), strategy: core.RoundRobin}
+	}
+	if spec.joins {
+		specs = append(specs, relSpec{name: "MuBprime", n: tuples / 10,
+			seed: 7, strategy: core.RoundRobin})
+	}
+	m := o.gammaMachine(muDisks, nDiskless, false, specs)
 	rels := make([]*core.Relation, muRels)
 	for i := range rels {
-		rels[i] = m.Load(core.LoadSpec{
-			Name: fmt.Sprintf("Mu%c", 'A'+i), Strategy: core.RoundRobin,
-		}, wisconsin.Generate(tuples, uint64(11+i)))
+		r, _ := m.Relation(fmt.Sprintf("Mu%c", 'A'+i))
+		rels[i] = r
 	}
 	var bp *core.Relation
 	if spec.joins {
-		bp = m.Load(core.LoadSpec{Name: "MuBprime", Strategy: core.RoundRobin},
-			wisconsin.Generate(tuples/10, 7))
+		bp, _ = m.Relation("MuBprime")
 	}
 	if shared {
 		m.EnableSharedScans()

@@ -13,6 +13,14 @@ type Report struct {
 	Table  *Table
 	Wall   time.Duration
 	Events int64 // simulated events executed across every machine built
+	// Setup is the cumulative machine-build wall time (image builds,
+	// restores, database loads) across the experiment's data points. Points
+	// can run in parallel, so Setup may exceed Wall.
+	Setup time.Duration
+	// ImageHits / ImageMisses count machine-image cache lookups: a miss
+	// built and snapshotted the database, a hit restored it copy-on-write.
+	ImageHits   int64
+	ImageMisses int64
 }
 
 // EventsPerSec returns the simulated-event throughput of the run.
@@ -22,6 +30,16 @@ func (r Report) EventsPerSec() float64 {
 		return 0
 	}
 	return float64(r.Events) / s
+}
+
+// QueryWall is the experiment's wall time net of setup, clamped at zero
+// (parallel points overlap setup with queries).
+func (r Report) QueryWall() time.Duration {
+	q := r.Wall - r.Setup
+	if q < 0 {
+		q = 0
+	}
+	return q
 }
 
 // RunSuite runs the experiments, fanning them — and, through parMap, their
@@ -35,14 +53,24 @@ func RunSuite(exps []Experiment, o Options, workers int) []Report {
 		o.Workers = workers
 		o.sem = make(chan struct{}, workers)
 	}
+	if o.images == nil {
+		// One machine-image cache serves the whole suite: experiments that
+		// build identical databases (the figure pairs, the table sizes)
+		// share images across experiment boundaries.
+		o.images = newImageCache()
+	}
 	reports := make([]Report, len(exps))
 	run := func(i int, e Experiment, oo Options) {
-		var ev atomic.Int64
+		var ev, su, ih, im atomic.Int64
 		oo.events = &ev
+		oo.setup = &su
+		oo.imgHits = &ih
+		oo.imgMisses = &im
 		start := time.Now()
 		tbl := e.Run(oo)
 		reports[i] = Report{ID: e.ID, Title: e.Title, Table: tbl,
-			Wall: time.Since(start), Events: ev.Load()}
+			Wall: time.Since(start), Events: ev.Load(),
+			Setup: time.Duration(su.Load()), ImageHits: ih.Load(), ImageMisses: im.Load()}
 	}
 	if o.sem == nil {
 		for i, e := range exps {

@@ -62,17 +62,15 @@ func runTable2(o Options) *Table {
 	perSize := parMap(o, len(o.Sizes), func(i int) map[string][2]Cell {
 		n := o.Sizes[i]
 
+		joinRels := []relSpec{heapRel("Bprime", n/10, 7), heapRel("B", n, 8), heapRel("C", n/10, 9)}
+
 		// Teradata machine and relations.
-		ts := newTera(o, n, 1)
-		tbp := ts.m.Load("Bprime", rel.Unique1, nil, genRel(n/10, 7))
-		tb := ts.m.Load("B", rel.Unique1, nil, genRel(n, 8))
-		tc := ts.m.Load("C", rel.Unique1, nil, genRel(n/10, 9))
+		ts := newTera(o, n, 1, joinRels...)
+		tbp, tb, tc := ts.extra["Bprime"], ts.extra["B"], ts.extra["C"]
 
 		// Gamma machine and relations.
-		g := newGamma(o, 8, 8, n, 1)
-		gbp := g.loadExtra("Bprime", n/10, 7)
-		gb := g.loadExtra("B", n, 8)
-		gc := g.loadExtra("C", n/10, 9)
+		g := newGamma(o, 8, 8, n, 1, joinRels...)
+		gbp, gb, gc := g.rel("Bprime"), g.rel("B"), g.rel("C")
 
 		cells := map[string][2]Cell{}
 		for _, av := range attrs {

@@ -193,6 +193,17 @@ func (m *Machine) PoolStats() (hits, misses int64) {
 	return hits, misses
 }
 
+// COWClones sums the copy-on-write page-clone counters across every disk
+// node's store: how many frozen (snapshot-shared) pages this machine has had
+// to privatize. Zero on a machine whose workload never wrote a shared page.
+func (m *Machine) COWClones() int64 {
+	var total int64
+	for _, nd := range m.Disk {
+		total += m.stores[nd.ID].COWClones()
+	}
+	return total
+}
+
 // Relation is a horizontally partitioned relation.
 type Relation struct {
 	Name     string

@@ -19,8 +19,9 @@ type UtilSnapshot struct {
 	ring  sim.Dur
 }
 
-// Snapshot records current resource totals.
-func (m *Machine) Snapshot() UtilSnapshot {
+// SnapshotUtil records current resource totals. (Machine.Snapshot, in
+// snapshot.go, captures the full machine image instead.)
+func (m *Machine) SnapshotUtil() UtilSnapshot {
 	s := UtilSnapshot{
 		at:    m.Sim.Now(),
 		cpu:   map[int]sim.Dur{},

@@ -9,7 +9,7 @@ import (
 
 func TestUtilizationReport(t *testing.T) {
 	m, r := newMachineWithRel(2, 2, 2000)
-	snap := m.Snapshot()
+	snap := m.SnapshotUtil()
 	m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 199), Path: PathHeap}})
 	var sb strings.Builder
 	m.WriteUtilization(&sb, snap)
@@ -29,7 +29,7 @@ func TestUtilizationReport(t *testing.T) {
 func TestSnapshotDeltasIsolateQueries(t *testing.T) {
 	m, r := newMachineWithRel(2, 0, 1000)
 	m.RunSelect(SelectQuery{Scan: ScanSpec{Rel: r, Pred: rel.True(), Path: PathHeap}})
-	snap := m.Snapshot() // after the first query
+	snap := m.SnapshotUtil() // after the first query
 	var sb strings.Builder
 	m.WriteUtilization(&sb, snap)
 	if !strings.Contains(sb.String(), "empty window") {

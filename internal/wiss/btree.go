@@ -42,6 +42,10 @@ type BTree struct {
 	nextPage  int
 	height    int
 	entries   int
+	// shared marks a tree whose bnodes belong to a snapshot image (or were
+	// handed to one): reads are safe, but the first structural mutation must
+	// deep-clone the node graph first (ensureOwned).
+	shared bool
 }
 
 type bnode struct {
@@ -343,7 +347,49 @@ func (t *BTree) InsertClusteredEntry(p *sim.Proc, key int32, page int32) {
 	})
 }
 
+// ensureOwned gives the tree a private copy of its node graph before the
+// first mutation of a shared (snapshot-backed) tree. Cloning charges no
+// simulated time: it models nothing the 1988 machine did — it is host-side
+// bookkeeping that keeps the frozen image immutable.
+func (t *BTree) ensureOwned() {
+	if !t.shared {
+		return
+	}
+	t.shared = false
+	if t.root == nil {
+		return
+	}
+	clones := make(map[*bnode]*bnode)
+	t.root = cloneSubtree(t.root, clones)
+	// The leaf chain threads through the clones in the same order.
+	for old, cl := range clones {
+		if old.next != nil {
+			cl.next = clones[old.next]
+		}
+	}
+	t.firstLeaf = clones[t.firstLeaf]
+}
+
+func cloneSubtree(n *bnode, clones map[*bnode]*bnode) *bnode {
+	cl := &bnode{
+		pageNo:   n.pageNo,
+		leaf:     n.leaf,
+		keys:     append([]int32(nil), n.keys...),
+		rids:     append([]RID(nil), n.rids...),
+		dataPage: append([]int32(nil), n.dataPage...),
+	}
+	clones[n] = cl
+	if len(n.children) > 0 {
+		cl.children = make([]*bnode, len(n.children))
+		for i, c := range n.children {
+			cl.children[i] = cloneSubtree(c, clones)
+		}
+	}
+	return cl
+}
+
 func (t *BTree) insertLeafEntry(p *sim.Proc, key int32, place func(leaf *bnode, i int)) {
+	t.ensureOwned()
 	t.entries++
 	if t.root == nil {
 		t.root = &bnode{leaf: true, pageNo: t.allocPage()}
@@ -456,6 +502,7 @@ func (t *BTree) DeleteEntry(p *sim.Proc, key int32, rid RID) bool {
 	if t.Kind != NonClustered {
 		panic("wiss: DeleteEntry on clustered index")
 	}
+	t.ensureOwned()
 	leaf, _ := t.descend(p, key)
 	for leaf != nil {
 		i := sort.Search(len(leaf.keys), func(i int) bool { return leaf.keys[i] >= key })
@@ -477,8 +524,12 @@ func (t *BTree) DeleteEntry(p *sim.Proc, key int32, rid RID) bool {
 }
 
 // Rebuild reconstructs the index from the current file contents (used after
-// bulk file mutations that bypass entry-level maintenance).
-func (t *BTree) Rebuild() { t.bulkBuild() }
+// bulk file mutations that bypass entry-level maintenance). A shared tree
+// simply abandons the image's nodes: bulkBuild allocates a fresh graph.
+func (t *BTree) Rebuild() {
+	t.shared = false
+	t.bulkBuild()
+}
 
 // CheckInvariants verifies B+-tree structural invariants; tests use it.
 func (t *BTree) CheckInvariants() error {

@@ -26,9 +26,24 @@ type RID struct {
 // Page is one disk page of tuples. Slots are stable: deletion tombstones a
 // slot rather than moving tuples, so RIDs held by secondary indexes stay
 // valid across updates.
+//
+// A frozen page belongs to a machine image (Store.Snapshot): it may be shared
+// by any number of restored stores, so it must never be written in place.
+// Every mutation path goes through File.mutPage, which clones a frozen page
+// before the first write (copy-on-write).
 type Page struct {
 	Tuples []rel.Tuple
 	dead   []bool // nil when every slot is live (the common case)
+	frozen bool   // shared with a snapshot image; clone before writing
+}
+
+// clone returns a private, writable copy of the page.
+func (pg *Page) clone() *Page {
+	cl := &Page{Tuples: append([]rel.Tuple(nil), pg.Tuples...)}
+	if pg.dead != nil {
+		cl.dead = append([]bool(nil), pg.dead...)
+	}
+	return cl
 }
 
 // Live reports whether slot holds a live tuple.
@@ -72,6 +87,9 @@ type Store struct {
 	pool   *BufferPool
 	nextID int
 	files  map[int]*File
+	// cowClones counts pages cloned by copy-on-write since the store was
+	// created (always 0 on a store that never restored or froze an image).
+	cowClones int64
 }
 
 // NewStore creates the storage manager for a node. The node must have a
@@ -100,6 +118,10 @@ func (st *Store) Params() *config.Params { return st.prm }
 
 // Pool returns the node's buffer pool.
 func (st *Store) Pool() *BufferPool { return st.pool }
+
+// COWClones returns the number of shared (frozen) pages this store has cloned
+// on first write since creation.
+func (st *Store) COWClones() int64 { return st.cowClones }
 
 // CreateFile allocates an empty heap file.
 func (st *Store) CreateFile(name string) *File {
@@ -192,6 +214,21 @@ func (f *File) LoadDirect(tuples []rel.Tuple, sortKey *rel.Attr) {
 // page returns page i without charging any cost (internal use).
 func (f *File) page(i int) *Page { return f.pages[i] }
 
+// mutPage returns page i for writing, cloning it first if it is frozen
+// (shared with a snapshot image). The clone replaces the shared page in this
+// file's page directory; the image and every other restored store keep the
+// original.
+func (f *File) mutPage(i int) *Page {
+	pg := f.pages[i]
+	if !pg.frozen {
+		return pg
+	}
+	cl := pg.clone()
+	f.pages[i] = cl
+	f.st.cowClones++
+	return cl
+}
+
 // LoadAppend adds one tuple to the end of the file without charging
 // simulated time; callers that model their own insertion costs (the
 // Teradata INSERT INTO path) use it for bookkeeping.
@@ -199,7 +236,7 @@ func (f *File) LoadAppend(t rel.Tuple) {
 	if len(f.pages) == 0 || len(f.pages[len(f.pages)-1].Tuples) >= f.capacity() {
 		f.pages = append(f.pages, &Page{})
 	}
-	pg := f.pages[len(f.pages)-1]
+	pg := f.mutPage(len(f.pages) - 1)
 	pg.Tuples = append(pg.Tuples, t)
 	f.nTuples++
 }
@@ -256,7 +293,8 @@ func (f *File) FetchRID(p *sim.Proc, rid RID) rel.Tuple {
 
 // UpdateRID overwrites the tuple at rid in place (read page, modify, write).
 func (f *File) UpdateRID(p *sim.Proc, rid RID, t rel.Tuple) {
-	pg := f.ReadPage(p, int(rid.Page))
+	f.chargeRead(p, int(rid.Page), true)
+	pg := f.mutPage(int(rid.Page))
 	pg.Tuples[rid.Slot] = t
 	f.WritePage(p, int(rid.Page))
 }
@@ -265,7 +303,8 @@ func (f *File) UpdateRID(p *sim.Proc, rid RID, t rel.Tuple) {
 // Slots are stable, so index entries for other tuples remain valid; index
 // entries for the deleted tuple must be removed by the caller.
 func (f *File) DeleteRID(p *sim.Proc, rid RID) {
-	pg := f.ReadPage(p, int(rid.Page))
+	f.chargeRead(p, int(rid.Page), true)
+	pg := f.mutPage(int(rid.Page))
 	if pg.Kill(int(rid.Slot)) {
 		f.nTuples--
 	}
@@ -280,6 +319,7 @@ func (f *File) InsertIntoPage(p *sim.Proc, pageNo int, t rel.Tuple) (RID, bool) 
 	if len(pg.Tuples) >= f.capacity() {
 		return RID{}, false
 	}
+	pg = f.mutPage(pageNo)
 	pg.Tuples = append(pg.Tuples, t)
 	f.nTuples++
 	f.WritePage(p, pageNo)
