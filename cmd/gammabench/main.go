@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	gammabench [-quick] [-list] [-parallel N] [-json] [-experiment a,b] [experiment ...]
+//	gammabench [-quick] [-list] [-parallel N] [-json] [-kernel serial|partitioned]
+//	           [-kernel-workers N] [-experiment a,b] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs; experiments
 // can be named positionally or as a comma-separated -experiment list (both
@@ -17,6 +18,16 @@
 // byte-identical at any worker count. -json replaces the tables with a
 // machine-readable report (wall-clock and simulated-events/sec per
 // experiment). -cpuprofile and -memprofile write pprof profiles.
+//
+// -kernel selects the simulation kernel: "serial" (the default single-heap
+// event loop) or "partitioned" (one shard per simulated node; the Gamma
+// model's partition declares zero lookahead, so it executes serialized in
+// merged global order and its tables, JSON, and traces are byte-identical
+// to -kernel serial — the serial kernel remains the oracle).
+// -kernel-workers bounds the goroutines a partitioned simulation may use
+// for conservative windows; it only takes effect for models that declare
+// positive lookahead. The GAMMA_KERNEL and GAMMA_KERNEL_WORKERS environment
+// variables provide the same knobs to the test suite.
 package main
 
 import (
@@ -53,7 +64,8 @@ type jsonExperiment struct {
 }
 
 type jsonReport struct {
-	Suite            string           `json:"suite"` // "full" or "quick"
+	Suite            string           `json:"suite"`  // "full" or "quick"
+	Kernel           string           `json:"kernel"` // "serial" or "partitioned"
 	Workers          int              `json:"workers"`
 	GoMaxProcs       int              `json:"gomaxprocs"`
 	TotalWallSeconds float64          `json:"total_wall_seconds"`
@@ -70,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for experiments and independent data points")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable report instead of tables")
+	kernel := fs.String("kernel", "", "simulation `kernel`: serial (default) or partitioned; partitioned shards each machine one-per-node with the serial order as oracle")
+	kernelWorkers := fs.Int("kernel-workers", 0, "worker goroutines per partitioned simulation's conservative windows (models with positive lookahead only)")
 	experiment := fs.String("experiment", "", "comma-separated experiment `ids` to run (adds to positional ids)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file`")
@@ -95,6 +109,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = bench.Quick()
 		suite = "quick"
 	}
+	switch *kernel {
+	case "", "serial", "partitioned":
+		opts.Kernel = *kernel
+	default:
+		fmt.Fprintf(stderr, "gammabench: -kernel must be serial or partitioned (got %q)\n", *kernel)
+		fs.Usage()
+		return 2
+	}
+	if *kernelWorkers < 0 {
+		fmt.Fprintf(stderr, "gammabench: -kernel-workers must be >= 0 (got %d)\n", *kernelWorkers)
+		fs.Usage()
+		return 2
+	}
+	opts.KernelWorkers = *kernelWorkers
 
 	ids := fs.Args()
 	for _, id := range strings.Split(*experiment, ",") {
@@ -143,8 +171,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	total := time.Since(start)
 
 	if *jsonOut {
+		kernelName := *kernel
+		if kernelName == "" {
+			kernelName = "serial"
+		}
 		rep := jsonReport{
 			Suite:            suite,
+			Kernel:           kernelName,
 			Workers:          *parallel,
 			GoMaxProcs:       runtime.GOMAXPROCS(0),
 			TotalWallSeconds: total.Seconds(),

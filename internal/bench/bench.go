@@ -8,7 +8,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,21 @@ type Options struct {
 	// serial). Experiments normally don't read it — parMap consults the
 	// semaphore directly — but it is visible for reporting.
 	Workers int
+
+	// Kernel selects the simulation kernel: "serial" (or empty, the
+	// default) runs each machine on the single-heap serial kernel;
+	// "partitioned" builds each machine on a partitioned simulation with
+	// one shard per node. The Gamma network model interacts across nodes
+	// at the same simulated instant, so its partition declares lookahead
+	// 0 and executes serialized in merged global order — byte-identical
+	// to the serial kernel, which stays available as the oracle. The
+	// GAMMA_KERNEL environment variable overrides an empty Kernel.
+	Kernel string
+	// KernelWorkers is the worker-goroutine budget a partitioned
+	// simulation may use for conservative windows (effective only with
+	// positive lookahead, i.e. not for the Gamma model; the kernel-level
+	// scale experiment uses it). GAMMA_KERNEL_WORKERS overrides zero.
+	KernelWorkers int
 
 	// sem is the suite-wide worker-slot semaphore shared by RunSuite and
 	// parMap; nil means serial. events, when set, accumulates the number of
@@ -97,10 +114,47 @@ func (o Options) withPage(pageBytes int) Options {
 	return o
 }
 
+// kernel resolves the kernel knob: the explicit Options value, then the
+// GAMMA_KERNEL environment variable, then the serial default.
+func (o Options) kernel() string {
+	if o.Kernel != "" {
+		return o.Kernel
+	}
+	if k := os.Getenv("GAMMA_KERNEL"); k != "" {
+		return k
+	}
+	return "serial"
+}
+
+// kernelWorkers resolves the window-worker budget (Options value, then
+// GAMMA_KERNEL_WORKERS, then 1 = serialized).
+func (o Options) kernelWorkers() int {
+	if o.KernelWorkers > 0 {
+		return o.KernelWorkers
+	}
+	if v := os.Getenv("GAMMA_KERNEL_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
 // newSim builds a simulator wired to the experiment's event counter, so the
-// suite runner can report simulated events per second.
+// suite runner can report simulated events per second. With the
+// "partitioned" kernel selected the simulation is partitioned at lookahead
+// 0 before the machine is built, so nose.AddNode homes every node on its
+// own shard.
 func (o Options) newSim() *sim.Sim {
 	s := sim.New()
+	switch k := o.kernel(); k {
+	case "serial":
+	case "partitioned":
+		s.Partition(0)
+		s.SetWorkers(o.kernelWorkers())
+	default:
+		panic(fmt.Sprintf("bench: unknown kernel %q (want serial or partitioned)", k))
+	}
 	if o.events != nil {
 		s.SetEventCounter(o.events)
 	}

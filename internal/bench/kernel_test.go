@@ -1,0 +1,162 @@
+package bench
+
+// Kernel-equivalence acceptance tests: every experiment must produce
+// byte-identical tables, JSON results, and trace streams whichever kernel
+// the simulation runs on — the single-heap serial kernel or the partitioned
+// kernel at any worker count. The Gamma model partitions at lookahead 0
+// (the ring interacts across nodes at the same instant), so the partitioned
+// kernel serializes it in merged global order; these tests pin that the
+// merge is exactly the serial order, byte for byte. CI runs this file under
+// -race across a GOMAXPROCS × workers matrix.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gamma/internal/config"
+	"gamma/internal/core"
+	"gamma/internal/rel"
+	"gamma/internal/sim"
+	"gamma/internal/wisconsin"
+)
+
+// kernelVariants is the equivalence matrix: the serial oracle and the
+// partitioned kernel serialized and with a worker budget.
+var kernelVariants = []struct {
+	name    string
+	kernel  string
+	workers int
+}{
+	{"serial", "serial", 0},
+	{"partitioned-w1", "partitioned", 1},
+	{"partitioned-w4", "partitioned", 4},
+}
+
+// suiteArtifacts runs a cross-section of experiments on the given kernel
+// and returns the rendered tables and the JSON result document (the stable
+// parts of the gammabench -json report: wall-clock fields excluded).
+func suiteArtifacts(t *testing.T, kernel string, workers int) (tables, jsonDoc []byte) {
+	t.Helper()
+	ids := []string{"table1", "fig1", "scaleup", "degraded", "multiuser"}
+	var exps []Experiment
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	o := tinyOptions()
+	o.Kernel = kernel
+	o.KernelWorkers = workers
+	reports := RunSuite(exps, o, 2)
+	var tblBuf bytes.Buffer
+	type stable struct {
+		ID     string
+		Events int64
+		Table  *Table
+	}
+	var doc []stable
+	for _, r := range reports {
+		r.Table.Render(&tblBuf)
+		doc = append(doc, stable{ID: r.ID, Events: r.Events, Table: r.Table})
+	}
+	js, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		t.Fatalf("marshal results: %v", err)
+	}
+	return tblBuf.Bytes(), js
+}
+
+// TestKernelEquivalenceSuite: the quick-suite cross-section produces
+// byte-identical tables and JSON results on every kernel variant.
+func TestKernelEquivalenceSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite cross-section is seconds-long; skipped in -short")
+	}
+	refTables, refJSON := suiteArtifacts(t, kernelVariants[0].kernel, kernelVariants[0].workers)
+	for _, v := range kernelVariants[1:] {
+		tables, js := suiteArtifacts(t, v.kernel, v.workers)
+		if !bytes.Equal(tables, refTables) {
+			t.Errorf("%s: rendered tables differ from serial kernel (%d vs %d bytes)",
+				v.name, len(tables), len(refTables))
+		}
+		if !bytes.Equal(js, refJSON) {
+			t.Errorf("%s: JSON results differ from serial kernel (%d vs %d bytes)",
+				v.name, len(js), len(refJSON))
+		}
+	}
+}
+
+// tracedWorkload builds a small traced Gamma machine on the given kernel,
+// runs a heap selection and an indexed selection, and returns the full
+// trace stream bytes.
+func tracedWorkload(t *testing.T, kernel string, workers int) []byte {
+	t.Helper()
+	prm := config.Default()
+	var s *sim.Sim
+	switch kernel {
+	case "serial":
+		s = sim.New()
+	case "partitioned":
+		s = sim.New()
+		s.Partition(0)
+		s.SetWorkers(workers)
+	default:
+		t.Fatalf("unknown kernel %q", kernel)
+	}
+	m := core.NewMachine(s, &prm, 4, 4)
+	u1 := rel.Unique1
+	r := m.Load(core.LoadSpec{
+		Name: "A", Strategy: core.Hashed, PartAttr: rel.Unique1,
+		ClusteredIndex: &u1, NonClusteredIndexes: []rel.Attr{rel.Unique2},
+	}, wisconsin.Generate(5000, 1))
+	col := m.EnableTrace()
+	m.RunSelect(core.SelectQuery{
+		Scan: core.ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 499), Path: core.PathHeap},
+	})
+	m.RunSelect(core.SelectQuery{
+		Scan: core.ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 100, 199), Path: core.PathClustered},
+	})
+	var buf bytes.Buffer
+	if err := col.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("traced workload emitted no events")
+	}
+	return buf.Bytes()
+}
+
+// TestKernelEquivalenceTraces: the full structured event stream of a traced
+// Gamma workload is byte-identical on every kernel variant — the headline
+// invariant of the partitioned kernel.
+func TestKernelEquivalenceTraces(t *testing.T) {
+	ref := tracedWorkload(t, kernelVariants[0].kernel, kernelVariants[0].workers)
+	for _, v := range kernelVariants[1:] {
+		got := tracedWorkload(t, v.kernel, v.workers)
+		if !bytes.Equal(got, ref) {
+			t.Errorf("%s: trace stream differs from serial kernel (%d vs %d bytes)",
+				v.name, len(got), len(ref))
+		}
+	}
+}
+
+// TestKernelKnobEnvOverride: GAMMA_KERNEL/GAMMA_KERNEL_WORKERS select the
+// kernel when Options leave it empty, and an explicit Options value wins.
+func TestKernelKnobEnvOverride(t *testing.T) {
+	t.Setenv("GAMMA_KERNEL", "partitioned")
+	t.Setenv("GAMMA_KERNEL_WORKERS", "3")
+	o := Options{}
+	if !o.newSim().Partitioned() {
+		t.Error("GAMMA_KERNEL=partitioned ignored")
+	}
+	if got := o.newSim().Workers(); got != 3 {
+		t.Errorf("GAMMA_KERNEL_WORKERS=3: workers = %d", got)
+	}
+	o.Kernel = "serial"
+	if o.newSim().Partitioned() {
+		t.Error("explicit Options.Kernel did not override the environment")
+	}
+}

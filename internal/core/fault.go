@@ -165,7 +165,7 @@ func (m *Machine) spawnOn(nd *nose.Node, name string, fn func(p *sim.Proc)) {
 		return
 	}
 	var pr *sim.Proc
-	pr = m.Sim.Spawn(name, func(p *sim.Proc) {
+	pr = m.Sim.SpawnOn(nd.Part, name, func(p *sim.Proc) {
 		defer func() {
 			// Deregister on any exit (normal, killed, or panicking).
 			live := m.procs[nd.ID]

@@ -437,14 +437,14 @@ func (m *Machine) launchQueryDone(res *Result, body func(p *sim.Proc, ib *inbox,
 	m.Sim.Emit(trace.Event{At: int64(start), Kind: trace.KindQueryStart, Query: res.Query})
 	schedPort := m.Sched.NewPort("sched")
 	hostPort := m.Host.NewPort("host")
-	m.Sim.Spawn("scheduler", func(p *sim.Proc) {
+	m.Sim.SpawnOn(m.Sched.Part, "scheduler", func(p *sim.Proc) {
 		schedPort.Recv(p) // the compiled query arrives from the host
 		ib := newInbox(p, schedPort)
 		ib.ft = m.newQueryFT()
 		body(p, ib, schedPort)
 		nose.SendCtl(p, m.Sched, hostPort, "done")
 	})
-	m.Sim.Spawn("host", func(p *sim.Proc) {
+	m.Sim.SpawnOn(m.Host.Part, "host", func(p *sim.Proc) {
 		m.Host.CPU.Use(p, m.Prm.Engine.HostStartup)
 		nose.SendCtl(p, m.Host, schedPort, "query")
 		hostPort.Recv(p)

@@ -9,6 +9,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -112,6 +113,34 @@ func Arm(m *core.Machine, s Schedule) {
 	}
 }
 
+// maxSpecSeconds bounds the times a schedule spec may carry: one simulated
+// year, far beyond any experiment, and small enough that the
+// seconds-to-microseconds conversion can never overflow or lose the
+// fractional microsecond to float error.
+const maxSpecSeconds = 365 * 24 * 3600.0
+
+// secsToDur converts spec seconds to simulated microseconds, rounding to
+// the nearest microsecond. Rounding (not truncation) makes the conversion
+// exact for every decimal spelling with up to six fractional digits, which
+// is what lets FormatInjection round-trip losslessly.
+func secsToDur(sec float64) sim.Dur {
+	return sim.Dur(math.Round(sec * float64(sim.Second)))
+}
+
+// parseSpecSeconds parses a non-negative, finite, bounded seconds value.
+// NaN, infinities, and out-of-range magnitudes are rejected — a schedule
+// instant must always land on a representable simulated microsecond.
+func parseSpecSeconds(s string) (float64, error) {
+	sec, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(sec) || sec < 0 || sec > maxSpecSeconds {
+		return 0, fmt.Errorf("seconds %q out of range [0, %g]", s, maxSpecSeconds)
+	}
+	return sec, nil
+}
+
 // ParseInjection parses the command-line form "site@seconds" (node crash),
 // "drive:site@seconds", or "nic:node@seconds+dur", e.g. "2@1.5" or
 // "nic:3@0.5+0.2".
@@ -139,26 +168,52 @@ func ParseInjection(s string) (Injection, error) {
 	if err != nil || site < 0 {
 		return Injection{}, fmt.Errorf("fault %q: bad site %q", s, siteStr)
 	}
-	var durSec float64
+	var dur sim.Dur
 	if kind == NICOutage {
 		var durStr string
 		atStr, durStr, ok = strings.Cut(atStr, "+")
 		if !ok {
 			return Injection{}, fmt.Errorf("fault %q: nic outage wants node@seconds+dur", s)
 		}
-		durSec, err = strconv.ParseFloat(durStr, 64)
+		durSec, err := parseSpecSeconds(durStr)
 		if err != nil || durSec <= 0 {
 			return Injection{}, fmt.Errorf("fault %q: bad outage duration %q", s, durStr)
 		}
+		dur = secsToDur(durSec)
+		if dur == 0 {
+			return Injection{}, fmt.Errorf("fault %q: outage duration %q rounds to zero", s, durStr)
+		}
 	}
-	atSec, err := strconv.ParseFloat(atStr, 64)
-	if err != nil || atSec < 0 {
+	atSec, err := parseSpecSeconds(atStr)
+	if err != nil {
 		return Injection{}, fmt.Errorf("fault %q: bad time %q", s, atStr)
 	}
 	return Injection{
-		At:   sim.Time(atSec * float64(sim.Second)),
+		At:   sim.Time(secsToDur(atSec)),
 		Kind: kind,
 		Site: site,
-		Dur:  sim.Dur(durSec * float64(sim.Second)),
+		Dur:  dur,
 	}, nil
+}
+
+// FormatInjection renders an injection in the canonical spec form
+// ParseInjection accepts: explicit kind prefix, seconds with the minimal
+// decimal spelling. Parse∘Format is the identity on every injection Parse
+// can produce (the fuzz harness pins this).
+func FormatInjection(in Injection) string {
+	sec := func(d sim.Dur) string {
+		return strconv.FormatFloat(float64(d)/float64(sim.Second), 'f', -1, 64)
+	}
+	var kind string
+	switch in.Kind {
+	case NodeCrash:
+		kind = "crash"
+	case DriveFail:
+		kind = "drive"
+	case NICOutage:
+		return fmt.Sprintf("nic:%d@%s+%s", in.Site, sec(in.At), sec(in.Dur))
+	default:
+		panic("fault: unknown injection kind " + in.Kind.String())
+	}
+	return fmt.Sprintf("%s:%d@%s", kind, in.Site, sec(in.At))
 }

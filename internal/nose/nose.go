@@ -130,8 +130,12 @@ func (n *Network) Ring() *sim.Resource { return n.ring }
 type Node struct {
 	ID  int
 	net *Network
-	CPU *sim.Resource
-	NIC *sim.Resource
+	// Part is the simulation shard the node's resources and processes are
+	// homed on: its own shard on a partitioned simulation (one partition
+	// per node), the default shard otherwise.
+	Part *sim.Shard
+	CPU  *sim.Resource
+	NIC  *sim.Resource
 	// Drive is nil on diskless processors.
 	Drive *disk.Drive
 	// SpoolNode is where this node's temporary files live: itself for
@@ -161,17 +165,28 @@ func (nd *Node) Fail() {
 // Failed reports whether the node has crashed.
 func (nd *Node) Failed() bool { return nd.failed }
 
-// AddNode attaches a node; diskCfg is used only when withDisk is true.
+// AddNode attaches a node; diskCfg is used only when withDisk is true. On a
+// partitioned simulation every node gets its own shard (the default shard
+// stays for machine-global objects like the ring, the scheduler, and the
+// host), so the node's CPU, NIC, drive, ports, and operator processes all
+// live in one partition. The ring network interacts across nodes at the
+// same simulated instant, so a Gamma simulation must be partitioned with
+// lookahead 0 — structurally sharded, serialized in merged global order.
 func (n *Network) AddNode(withDisk bool, diskCfg config.Disk) *Node {
 	id := len(n.nodes)
+	part := n.sim.DefaultShard()
+	if n.sim.Partitioned() {
+		part = n.sim.AddShard()
+	}
 	nd := &Node{
-		ID:  id,
-		net: n,
-		CPU: n.sim.NewResource(fmt.Sprintf("cpu%d", id)),
-		NIC: n.sim.NewResource(fmt.Sprintf("nic%d", id)),
+		ID:   id,
+		net:  n,
+		Part: part,
+		CPU:  part.NewResource(fmt.Sprintf("cpu%d", id)),
+		NIC:  part.NewResource(fmt.Sprintf("nic%d", id)),
 	}
 	if withDisk {
-		nd.Drive = disk.New(n.sim, fmt.Sprintf("disk%d", id), diskCfg)
+		nd.Drive = disk.NewOn(part, fmt.Sprintf("disk%d", id), diskCfg)
 		nd.SpoolNode = nd
 	}
 	n.nodes = append(n.nodes, nd)
@@ -201,7 +216,7 @@ type Port struct {
 // NewPort creates a named port on the node. A port created on a failed node
 // starts closed.
 func (nd *Node) NewPort(name string) *Port {
-	pt := &Port{node: nd, name: name, recvq: nd.net.sim.NewWaitQ("port:" + name), closed: nd.failed}
+	pt := &Port{node: nd, name: name, recvq: nd.Part.NewWaitQ("port:" + name), closed: nd.failed}
 	nd.ports = append(nd.ports, pt)
 	return pt
 }
@@ -305,7 +320,7 @@ func (nd *Node) Dial(to *Port) *Conn {
 	if w <= 0 {
 		w = 1
 	}
-	return &Conn{from: nd, to: to, credits: w, waitq: nd.net.sim.NewWaitQ("win")}
+	return &Conn{from: nd, to: to, credits: w, waitq: nd.Part.NewWaitQ("win")}
 }
 
 // Local reports whether the connection short-circuits (same node).

@@ -1,16 +1,23 @@
 package sim
 
-// event is one pending occurrence in the kernel's calendar. Exactly one of
+// event is one pending occurrence in a shard's calendar. Exactly one of
 // p/fn is set: wake events carry the process to resume directly (no closure
 // allocation per park/wake), fn events carry arbitrary kernel callbacks.
+//
+// ord is the global tie-break among equal-time events. In serialized
+// execution it is a global schedule counter (FIFO among equal times, exactly
+// the pre-partitioning kernel order); in lookahead execution it is a
+// per-shard stamp composite (see Sim.schedule). Either way (at, ord) is a
+// deterministic total order over all events of a run, independent of worker
+// count — the invariant every byte-identical-trace guarantee rests on.
 type event struct {
 	at  Time
-	seq uint64 // tie-break so equal-time events fire in schedule order
+	ord uint64 // tie-break so equal-time events fire in a fixed total order
 	p   *Proc  // wake event: process to resume (nil for fn events)
 	fn  func() // callback event (nil for wake events)
 }
 
-// eventHeap is a 4-ary min-heap of events ordered by (at, seq). It is
+// eventHeap is a 4-ary min-heap of events ordered by (at, ord). It is
 // deliberately monomorphic — no container/heap, no interface boxing — so the
 // steady-state schedule/fire cycle allocates nothing: Push appends into the
 // backing slice (amortized growth only) and Pop shrinks it in place.
@@ -25,13 +32,13 @@ type eventHeap struct {
 
 func (h *eventHeap) len() int { return len(h.ev) }
 
-// less orders by time, then by schedule order (FIFO among equal times).
+// less orders by time, then by the deterministic tie-break key.
 func (h *eventHeap) less(i, j int) bool {
 	a, b := &h.ev[i], &h.ev[j]
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.ord < b.ord
 }
 
 // push inserts e, sifting it up from the last slot.
@@ -94,4 +101,14 @@ func (h *eventHeap) peek() (Time, bool) {
 		return 0, false
 	}
 	return h.ev[0].at, true
+}
+
+// head returns the key of the earliest pending event (only valid when
+// non-empty). The merged serial loop and the window scheduler use it to
+// order shards against each other.
+func (h *eventHeap) head() (Time, uint64, bool) {
+	if len(h.ev) == 0 {
+		return 0, 0, false
+	}
+	return h.ev[0].at, h.ev[0].ord, true
 }

@@ -2,6 +2,10 @@ package sim
 
 import "gamma/internal/trace"
 
+// nopFn is the shared no-op callback for clock-advancing completion events,
+// so UseAsync does not allocate a closure per request.
+var nopFn = func() {}
+
 // Resource is a non-preemptive FIFO queueing server: requests are served one
 // at a time, in arrival order, each for a caller-specified service time.
 // CPUs, disk drives, network interfaces, and the token ring are all modeled
@@ -10,8 +14,12 @@ import "gamma/internal/trace"
 // Because arrivals are totally ordered by the deterministic event loop, FIFO
 // order is captured by a single "busy until" horizon rather than an explicit
 // queue.
+//
+// A resource is homed on a shard; under the window scheduler it must only be
+// used from that shard's context (its state is shard-private and unlocked).
 type Resource struct {
 	sim       *Sim
+	shard     *Shard
 	name      string
 	busyUntil Time
 
@@ -21,13 +29,22 @@ type Resource struct {
 	waited   Dur   // total time requests spent queued before service
 }
 
-// NewResource creates a named FIFO resource on s.
+// NewResource creates a named FIFO resource homed on the scheduling
+// context's shard.
 func (s *Sim) NewResource(name string) *Resource {
-	return &Resource{sim: s, name: name}
+	return &Resource{sim: s, shard: s.ctxShard(), name: name}
+}
+
+// NewResource creates a named FIFO resource homed on this shard.
+func (sh *Shard) NewResource(name string) *Resource {
+	return &Resource{sim: sh.s, shard: sh, name: name}
 }
 
 // Name returns the resource name.
 func (r *Resource) Name() string { return r.name }
+
+// Shard returns the shard the resource is homed on.
+func (r *Resource) Shard() *Shard { return r.shard }
 
 // Use blocks p while the resource queues and then serves a request of
 // duration d. It returns after service completes.
@@ -44,7 +61,7 @@ func (r *Resource) Use(p *Proc, d Dur) {
 // always advances past the work even if nobody waits on it.
 func (r *Resource) UseAsync(d Dur) Time {
 	done := r.schedule(d)
-	r.sim.At(done, func() {})
+	r.sim.schedule(r.shard, r.shard, done, nil, nopFn)
 	return done
 }
 
@@ -53,7 +70,7 @@ func (r *Resource) schedule(d Dur) Time {
 	if d < 0 {
 		d = 0
 	}
-	now := r.sim.now
+	now := r.sim.clockOf(r.shard)
 	start := now
 	if r.busyUntil > start {
 		r.waited += r.busyUntil - start
@@ -68,11 +85,11 @@ func (r *Resource) schedule(d Dur) Time {
 		// is already final. The release record's At is the completion
 		// instant; the stream is therefore in emission order, not
 		// timestamp order.
-		r.sim.sink.Emit(trace.Event{
+		r.sim.emitOn(r.shard, trace.Event{
 			At: int64(now), Kind: trace.KindAcquire, Res: r.name,
 			Wait: int64(start - now),
 		})
-		r.sim.sink.Emit(trace.Event{
+		r.sim.emitOn(r.shard, trace.Event{
 			At: int64(r.busyUntil), Kind: trace.KindRelease, Res: r.name,
 			Start: int64(start), End: int64(r.busyUntil),
 		})

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sync"
+
+	"gamma/internal/trace"
+)
+
+// Shard is one partition of a simulation: a private event heap and clock
+// plus the Resources, WaitQs, and Procs homed on it. An unpartitioned
+// simulation is exactly one shard (shard 0). Under the window scheduler a
+// shard's entire state is touched only by the worker currently running its
+// window, so shard-local operations need no synchronization; the only
+// cross-shard channels are the inbox (mutex-guarded timestamped events) and
+// the barrier-merged trace buffer.
+type Shard struct {
+	id int
+	s  *Sim
+
+	events eventHeap
+	now    Time
+	stamp  uint64 // per-shard scheduling counter (ord source when lookahead > 0)
+
+	// Hand-off channel for this shard's process discipline: a process
+	// signals it after parking; the shard's executor blocks on it after
+	// resuming a process.
+	yield  chan struct{}
+	parked int
+	procs  int
+	failure any // panic value escaped from a process or event on this shard
+
+	executed uint64
+
+	// inbox receives cross-shard events during parallel windows; the
+	// coordinator drains it into the heap at each barrier.
+	inbox inbox
+
+	// Window-scoped trace state: events emitted while firing are buffered
+	// with the firing event's key and merged into the sink at the barrier.
+	tbuf      []trace.Keyed
+	firingOrd uint64
+	emitIdx   int
+	bound     Time // exclusive upper time bound of the current window
+}
+
+func newShard(s *Sim, id int) *Shard {
+	return &Shard{id: id, s: s, yield: make(chan struct{})}
+}
+
+// ID returns the shard's index (0 for the default shard).
+func (sh *Shard) ID() int { return sh.id }
+
+// Sim returns the simulation the shard belongs to.
+func (sh *Shard) Sim() *Sim { return sh.s }
+
+// Now returns the shard's view of the current simulated time: its own
+// clock inside a parallel window, the global clock otherwise.
+func (sh *Shard) Now() Time { return sh.s.clockOf(sh) }
+
+// At schedules fn at absolute time t on this shard, from this shard's
+// context. Safe in every execution mode; inside a parallel window the
+// caller must be executing on this shard.
+func (sh *Shard) At(t Time, fn func()) { sh.s.schedule(sh, sh, t, nil, fn) }
+
+// After schedules fn d from now on this shard.
+func (sh *Shard) After(d Dur, fn func()) { sh.At(sh.Now()+d, fn) }
+
+// Send schedules fn at absolute time t on shard dst, from this shard's
+// context. With positive lookahead t must be at least the sender's clock
+// plus the lookahead (the conservative contract; violations panic). During
+// a parallel window the event travels through dst's inbox and becomes
+// visible at the next barrier.
+func (sh *Shard) Send(dst *Shard, t Time, fn func()) { sh.s.schedule(sh, dst, t, nil, fn) }
+
+// Spawn starts fn as a new process homed on this shard at the shard's
+// current time, from this shard's context.
+func (sh *Shard) Spawn(name string, fn func(p *Proc)) *Proc {
+	return sh.s.spawnOn(sh, sh.Now(), name, fn)
+}
+
+// Emit forwards a structured event to the sink, attributed to this shard —
+// safe in every execution mode, including parallel windows.
+func (sh *Shard) Emit(e trace.Event) { sh.s.emitOn(sh, e) }
+
+// drainInbox moves buffered cross-shard events into the heap. Called by
+// the coordinator between windows, when no worker touches the shard. The
+// drained buffer is recycled so a steady message rate allocates nothing.
+func (sh *Shard) drainInbox() {
+	sh.inbox.mu.Lock()
+	evs := sh.inbox.evs
+	sh.inbox.evs = sh.inbox.spare
+	sh.inbox.mu.Unlock()
+	for _, e := range evs {
+		sh.events.push(e)
+	}
+	clear(evs)
+	sh.inbox.spare = evs[:0]
+}
+
+// inbox is the one mutex in the kernel: a bounded staging buffer for
+// events sent into a shard from other shards' windows. Contention is a
+// couple of inter-node messages per window, not per event.
+type inbox struct {
+	mu    sync.Mutex
+	evs   []event
+	spare []event // recycled drained buffer
+}
+
+func (b *inbox) put(e event) {
+	b.mu.Lock()
+	b.evs = append(b.evs, e)
+	b.mu.Unlock()
+}

@@ -1,20 +1,41 @@
 // Package sim implements a deterministic discrete-event simulation kernel.
 //
 // Simulated activities ("processes") are ordinary goroutines, but they run
-// under a strict hand-off discipline: exactly one goroutine — either the
-// kernel event loop or a single process — executes at any moment, so process
-// code needs no locking and every run of a simulation is deterministic.
-// Processes advance the virtual clock only by blocking in kernel primitives
-// (Sleep, Resource.Use, WaitQ.Park); pure computation takes zero simulated
-// time unless it is explicitly charged to a Resource.
+// under a strict hand-off discipline: within one shard, exactly one
+// goroutine — either the shard's event loop or a single process — executes
+// at any moment, so process code needs no locking and every run of a
+// simulation is deterministic. Processes advance the virtual clock only by
+// blocking in kernel primitives (Sleep, Resource.Use, WaitQ.Park); pure
+// computation takes zero simulated time unless it is explicitly charged to
+// a Resource.
 //
 // The kernel is the substrate on which the Gamma and Teradata machine models
 // are built: CPUs, disks, and network interfaces are Resources, and operator
 // processes are Procs.
+//
+// # Partitioned execution
+//
+// A simulation is normally one shard — one event heap, one clock. Partition
+// splits it into shards (one per simulated node), each owning a private
+// event heap, clock, and the Resources, WaitQs, and Procs homed on it.
+// Shards synchronize conservatively: with a declared lookahead L > 0, a
+// shard may fire every event below min(all shard clocks) + L without
+// consulting its neighbors, because a cross-shard event takes at least L of
+// simulated time to arrive. Run then fans safe shards across worker
+// goroutines, cross-shard sends travel as timestamped events through
+// per-shard inboxes, and trace emission is merge-ordered so the sink sees
+// the one global (at, ord) order a serial run would produce.
+//
+// With lookahead 0 (a model that interacts across shards at the same
+// instant, like the 1988 Gamma network model) no concurrency is admissible;
+// Run executes the shards' heaps in merged global order on one goroutine,
+// byte-identical to the unpartitioned kernel. Either way the serialized
+// path — Run with Workers <= 1 — is the oracle any worker count must match.
 package sim
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"gamma/internal/trace"
@@ -33,6 +54,9 @@ const (
 	Second      Dur = 1000000
 )
 
+// infTime is an unreachable deadline (Run's "no deadline" sentinel).
+const infTime = Time(1) << 62
+
 // Seconds converts a simulated time span to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
@@ -41,36 +65,72 @@ func FromSeconds(s float64) Dur { return Dur(s * float64(Second)) }
 
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
+// shardIDBits is the width of the shard-id field in a lookahead-mode ord:
+// the low 20 bits carry the scheduling shard's id, the high 44 bits its
+// stamp counter. Up to ~1M shards and ~17T scheduling actions per shard.
+const shardIDBits = 20
+
 // Sim is a discrete-event simulation instance. The zero value is not usable;
 // create one with New.
 type Sim struct {
-	now      Time
-	events   eventHeap
-	seq      uint64
-	yield    chan struct{} // process -> kernel: "I have parked or finished"
-	parked   int           // number of live processes currently parked
-	procs    int           // number of live processes
-	failure  any           // panic value escaped from a process
-	executed uint64        // events fired so far
+	shards []*Shard
+	sh0    *Shard // shards[0], the default home for untagged objects
+
+	// Partitioning state (see Partition).
+	partitioned bool
+	lookahead   Dur
+	workers     int
+
+	// Serialized-execution state: the global clock, the global schedule
+	// counter (the ord source when lookahead is 0), and the shard whose
+	// event is currently firing.
+	now Time
+	seq uint64
+	cur *Shard
+
+	// inWindow is true while worker goroutines execute a conservative
+	// window in parallel. It is written by the coordinator between
+	// barriers only, and every reader is sequenced after the write by the
+	// window dispatch channels, so it needs no atomics.
+	inWindow bool
+
+	// dirty collects shards whose heaps received pushes during the current
+	// event, so the merged serial loop can refresh its shard-order heap.
+	dirty []*Shard
+	tops  topHeap
+
+	// streams is scratch space for the per-window trace merge.
+	streams [][]trace.Keyed
+
+	executed uint64
 	counter  *atomic.Int64 // optional shared executed-event counter
 	trace    func(t Time, format string, args ...any)
 	sink     trace.Sink
 }
 
-// New returns an empty simulation with the clock at zero.
+// New returns an empty, single-shard simulation with the clock at zero.
 func New() *Sim {
-	return &Sim{yield: make(chan struct{})}
+	s := &Sim{}
+	s.sh0 = newShard(s, 0)
+	s.shards = []*Shard{s.sh0}
+	return s
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time. In a parallel window shards have
+// independent clocks; use Proc.Now or Shard.Now there.
 func (s *Sim) Now() Time { return s.now }
 
-// SetTrace installs a trace hook invoked by Proc.Tracef; nil disables tracing.
+// SetTrace installs a trace hook invoked by Proc.Tracef; nil disables
+// tracing. The hook is serial-only: Run panics if it is set on a simulation
+// about to execute parallel windows.
 func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.trace = fn }
 
 // SetSink installs a structured event sink (typically a *trace.Collector)
 // that receives typed records from the kernel and every model built on it;
-// nil disables structured tracing.
+// nil disables structured tracing. Under parallel windows the kernel
+// buffers per-shard streams and merges them into the sink in global
+// (at, ord) order at each window barrier, so the sink observes exactly the
+// serialized emission order at any worker count.
 func (s *Sim) SetSink(sink trace.Sink) { s.sink = sink }
 
 // Sink returns the installed structured event sink, or nil.
@@ -78,7 +138,13 @@ func (s *Sim) Sink() trace.Sink { return s.sink }
 
 // Emit forwards a structured event to the sink, if one is installed.
 // Emitters that compute event fields eagerly should check Tracing first.
+// Emit is a serialized-context primitive; inside a parallel window use
+// Proc.Emit or Shard.Emit, which route through the emitting shard's
+// merge-ordered buffer.
 func (s *Sim) Emit(e trace.Event) {
+	if s.inWindow {
+		panic("sim: Sim.Emit inside a parallel window; use Proc.Emit or Shard.Emit")
+	}
 	if s.sink != nil {
 		s.sink.Emit(e)
 	}
@@ -87,23 +153,149 @@ func (s *Sim) Emit(e trace.Event) {
 // Tracing reports whether a structured event sink is installed.
 func (s *Sim) Tracing() bool { return s.sink != nil }
 
-// At schedules fn to run at absolute time t (clamped to now).
-func (s *Sim) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
+// emitOn forwards a structured event attributed to shard sh. During a
+// parallel window it is buffered with the firing event's (at, ord) key and
+// merged into the sink at the barrier; otherwise it goes straight through.
+func (s *Sim) emitOn(sh *Shard, e trace.Event) {
+	if s.inWindow {
+		sh.tbuf = append(sh.tbuf, trace.Keyed{At: int64(sh.now), Ord: sh.firingOrd, Sub: sh.emitIdx, E: e})
+		sh.emitIdx++
+		return
 	}
-	s.seq++
-	s.events.push(event{at: t, seq: s.seq, fn: fn})
+	if s.sink != nil {
+		s.sink.Emit(e)
+	}
+}
+
+// Partition declares that the simulation will be partitioned into shards
+// with the given conservative lookahead: a cross-shard event must be
+// scheduled at least lookahead after its sender's clock. Lookahead 0 is
+// legal and declares "cross-shard interaction may be instantaneous"; such a
+// simulation always executes serialized (in merged global order), because
+// no conservative window is safe. Partition must be called before any
+// events are scheduled or processes spawned; AddShard then creates one
+// shard per simulated node as the model is built.
+func (s *Sim) Partition(lookahead Dur) {
+	if s.sh0.events.len() > 0 || s.sh0.procs > 0 || s.now != 0 || s.seq != 0 {
+		panic("sim: Partition must be called on a fresh simulation")
+	}
+	if lookahead < 0 {
+		panic("sim: negative lookahead")
+	}
+	s.partitioned = true
+	s.lookahead = lookahead
+}
+
+// Partitioned reports whether Partition has been called.
+func (s *Sim) Partitioned() bool { return s.partitioned }
+
+// Lookahead returns the declared conservative lookahead.
+func (s *Sim) Lookahead() Dur { return s.lookahead }
+
+// SetWorkers sets the number of worker goroutines Run may use to execute
+// conservative windows in parallel. It only takes effect on a partitioned
+// simulation with positive lookahead; otherwise Run stays serialized (the
+// oracle path). n <= 1 selects serialized execution explicitly.
+func (s *Sim) SetWorkers(n int) { s.workers = n }
+
+// Workers returns the configured worker count (0 or 1 = serialized).
+func (s *Sim) Workers() int { return s.workers }
+
+// AddShard creates a new shard (partition) and returns its handle. Only
+// valid on a partitioned simulation.
+func (s *Sim) AddShard() *Shard {
+	if !s.partitioned {
+		panic("sim: AddShard on an unpartitioned simulation (call Partition first)")
+	}
+	sh := newShard(s, len(s.shards))
+	if sh.id >= 1<<shardIDBits {
+		panic("sim: too many shards")
+	}
+	s.shards = append(s.shards, sh)
+	return sh
+}
+
+// DefaultShard returns shard 0, the home of every object not explicitly
+// created on a shard.
+func (s *Sim) DefaultShard() *Shard { return s.sh0 }
+
+// Shards returns the number of shards (1 for an unpartitioned simulation).
+func (s *Sim) Shards() int { return len(s.shards) }
+
+// ctxShard resolves the scheduling context of a context-free primitive
+// (At/After/Spawn): the shard whose event is currently firing, or shard 0
+// during setup. Context-free primitives cannot attribute themselves inside
+// a parallel window; shard- and proc-scoped methods exist for that.
+func (s *Sim) ctxShard() *Shard {
+	if s.inWindow {
+		panic("sim: context-free scheduling (At/After/Spawn) inside a parallel window; use Shard or Proc methods")
+	}
+	if s.cur != nil {
+		return s.cur
+	}
+	return s.sh0
+}
+
+// clockOf returns the scheduling context's view of "now": the shard clock
+// inside a parallel window, the global clock otherwise.
+func (s *Sim) clockOf(sh *Shard) Time {
+	if s.inWindow {
+		return sh.now
+	}
+	return s.now
+}
+
+// schedule enqueues an event on shard home, stamped from scheduling context
+// src. It is the single ordering point of the kernel: every At, wake, and
+// spawn passes through here, and the (at, ord) keys it assigns are
+// identical whether the run is serialized or windowed — per-shard stamp
+// counters advance with the shard's own deterministic execution, never with
+// wall-clock scheduling.
+func (s *Sim) schedule(src, home *Shard, at Time, p *Proc, fn func()) {
+	if now := s.clockOf(src); at < now {
+		at = now
+	}
+	var ord uint64
+	if s.lookahead > 0 {
+		src.stamp++
+		ord = src.stamp<<shardIDBits | uint64(src.id)
+		if home != src && at < s.clockOf(src)+s.lookahead {
+			panic(fmt.Sprintf("sim: cross-shard event from shard %d to shard %d at %v violates lookahead %v (sender clock %v)",
+				src.id, home.id, at, s.lookahead, s.clockOf(src)))
+		}
+	} else {
+		// Serialized execution: a single global schedule counter, exactly
+		// the pre-partitioning kernel's FIFO-among-equal-times order.
+		s.seq++
+		ord = s.seq
+	}
+	e := event{at: at, ord: ord, p: p, fn: fn}
+	if s.inWindow && home != src {
+		home.inbox.put(e)
+		return
+	}
+	home.events.push(e)
+	if len(s.shards) > 1 && !s.inWindow {
+		s.dirty = append(s.dirty, home)
+	}
+}
+
+// At schedules fn to run at absolute time t (clamped to now) on the
+// scheduling context's shard.
+func (s *Sim) At(t Time, fn func()) {
+	sh := s.ctxShard()
+	s.schedule(sh, sh, t, nil, fn)
 }
 
 // After schedules fn to run d from now.
 func (s *Sim) After(d Dur, fn func()) { s.At(s.now+d, fn) }
 
-// Proc is a simulated process: a goroutine scheduled cooperatively by the
-// kernel. All Proc methods must be called from the process's own goroutine,
-// except Kill, which is called from kernel context.
+// Proc is a simulated process: a goroutine scheduled cooperatively by its
+// home shard. All Proc methods must be called from the process's own
+// goroutine, except Kill, which is called from kernel context.
 type Proc struct {
 	sim     *Sim
+	shard   *Shard
 	name    string
 	resume  chan struct{}
 	killed  bool
@@ -115,24 +307,33 @@ type Proc struct {
 // Sim returns the simulation the process belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }
 
+// Shard returns the process's home shard.
+func (p *Proc) Shard() *Shard { return p.shard }
+
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
-// Now returns the current simulated time.
-func (p *Proc) Now() Time { return p.sim.now }
+// Now returns the current simulated time as the process observes it: its
+// shard's clock inside a parallel window, the global clock otherwise.
+func (p *Proc) Now() Time { return p.sim.clockOf(p.shard) }
+
+// Emit forwards a structured event to the sink, attributed to the process's
+// shard — safe in every execution mode, including parallel windows.
+func (p *Proc) Emit(e trace.Event) { p.sim.emitOn(p.shard, e) }
 
 // Tracef reports a trace event if tracing is enabled on the simulation.
 func (p *Proc) Tracef(format string, args ...any) {
 	if p.sim.trace != nil {
-		p.sim.trace(p.sim.now, "["+p.name+"] "+format, args...)
+		p.sim.trace(p.Now(), "["+p.name+"] "+format, args...)
 	}
 }
 
 // park suspends the process until some event calls wake. It transfers
-// control back to the kernel loop.
+// control back to the shard's event loop.
 func (p *Proc) park() {
-	p.sim.parked++
-	p.sim.yield <- struct{}{}
+	sh := p.shard
+	sh.parked++
+	sh.yield <- struct{}{}
 	<-p.resume
 	if p.killed {
 		panic(killSentinel{})
@@ -147,7 +348,8 @@ type killSentinel struct{}
 // it would resume (immediately when parked on a WaitQ; at its pending wake
 // when sleeping or queued on a Resource), and if it has not started yet its
 // body never runs. Must be called from kernel context (an event function or
-// another process). Killing a dead or already-killed process is a no-op.
+// another process). In a parallel window the caller must be on the
+// process's own shard. Killing a dead or already-killed process is a no-op.
 func (p *Proc) Kill() {
 	if p.killed {
 		return
@@ -156,7 +358,7 @@ func (p *Proc) Kill() {
 	if p.wq != nil {
 		p.wq.remove(p)
 		p.wq = nil
-		p.wake(p.sim.now)
+		p.wake(p.sim.clockOf(p.shard))
 	}
 }
 
@@ -164,21 +366,17 @@ func (p *Proc) Kill() {
 func (p *Proc) Killed() bool { return p.killed }
 
 // wake schedules the process to resume at time t. It must be called exactly
-// once per park, from kernel context (an event function or another process).
-// The event carries the process directly — the kernel loop performs the
-// hand-off itself, so a park/wake cycle allocates no closure.
+// once per park, from kernel context (an event function or another process
+// on the same shard). The event carries the process directly — the shard
+// loop performs the hand-off itself, so a park/wake cycle allocates no
+// closure.
 func (p *Proc) wake(t Time) {
-	s := p.sim
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	s.events.push(event{at: t, seq: s.seq, p: p})
+	p.sim.schedule(p.shard, p.shard, t, p, nil)
 }
 
 // Sleep advances the process's virtual time by d.
 func (p *Proc) Sleep(d Dur) {
-	p.wake(p.sim.now + d)
+	p.wake(p.Now() + d)
 	p.park()
 }
 
@@ -186,30 +384,45 @@ func (p *Proc) Sleep(d Dur) {
 // It is the synchronization half of Resource.UseAsync: issue work early,
 // then wait for its completion time when the result is needed.
 func (p *Proc) WaitUntil(t Time) {
-	if t > p.sim.now {
-		p.Sleep(t - p.sim.now)
+	if now := p.Now(); t > now {
+		p.Sleep(t - now)
 	}
 }
 
-// Spawn starts fn as a new process at the current simulated time.
+// Spawn starts fn as a new process at the current simulated time, homed on
+// the scheduling context's shard.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	return s.SpawnAt(s.now, name, fn)
 }
 
 // SpawnAt starts fn as a new process at absolute simulated time t.
 func (s *Sim) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
-	s.procs++
+	return s.spawnOn(s.ctxShard(), t, name, fn)
+}
+
+// SpawnOn starts fn as a new process at the current simulated time, homed
+// on shard sh: its events live in sh's heap and it executes under sh's
+// hand-off discipline. Serialized contexts only; inside a parallel window
+// use Shard.Spawn.
+func (s *Sim) SpawnOn(sh *Shard, name string, fn func(p *Proc)) *Proc {
+	s.ctxShard() // assert serialized context
+	return s.spawnOn(sh, s.now, name, fn)
+}
+
+// spawnOn starts fn as a process homed on sh, first resumed at time t.
+func (s *Sim) spawnOn(sh *Shard, t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, shard: sh, name: name, resume: make(chan struct{})}
+	sh.procs++
 	go func() {
 		<-p.resume
 		defer func() {
-			s.procs--
+			sh.procs--
 			if r := recover(); r != nil {
-				if _, wasKilled := r.(killSentinel); !wasKilled && s.failure == nil {
-					s.failure = procPanic{name: name, val: r}
+				if _, wasKilled := r.(killSentinel); !wasKilled && sh.failure == nil {
+					sh.failure = procPanic{name: name, val: r}
 				}
 			}
-			s.yield <- struct{}{}
+			sh.yield <- struct{}{}
 		}()
 		if !p.killed {
 			fn(p)
@@ -217,7 +430,7 @@ func (s *Sim) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	}()
 	// The start is an ordinary wake: the goroutine above is "parked" on its
 	// resume channel until the start event fires.
-	s.parked++
+	sh.parked++
 	p.wake(t)
 	return p
 }
@@ -229,57 +442,220 @@ type procPanic struct {
 
 func (e procPanic) String() string { return fmt.Sprintf("process %q panicked: %v", e.name, e.val) }
 
-// fire dispatches one event: a wake event hands control to its process (the
-// coalesced park/wake path — no closure, no extra event), a callback event
-// runs its function in kernel context.
-func (s *Sim) fire(e event) {
+// fireSerial dispatches one event of shard sh in serialized execution: a
+// wake event hands control to its process (the coalesced park/wake path —
+// no closure, no extra event), a callback event runs its function in kernel
+// context.
+func (s *Sim) fireSerial(sh *Shard, e event) {
 	s.now = e.at
+	sh.now = e.at
+	s.cur = sh
 	s.executed++
 	if e.p != nil {
-		s.parked--
+		sh.parked--
 		e.p.resume <- struct{}{}
-		<-s.yield
+		<-sh.yield
 	} else {
 		e.fn()
 	}
-	if s.failure != nil {
-		panic(s.failure.(procPanic).String())
+	if sh.failure != nil {
+		panic(sh.failure.(procPanic).String())
 	}
 }
 
-// Run executes events until none remain, then returns the final clock value.
-// It panics if a process panicked, or if live processes remain parked with no
-// pending events (a simulated deadlock).
+// Run executes events until none remain, then returns the final clock
+// value. On a partitioned simulation with positive lookahead and Workers
+// > 1, shards execute conservative windows on a worker pool; in every
+// other case (the oracle path) events fire one at a time in global
+// (at, ord) order. It panics if a process panicked, or if live processes
+// remain parked with no pending events (a simulated deadlock).
 func (s *Sim) Run() Time {
-	for s.events.len() > 0 {
-		s.fire(s.events.pop())
+	if s.partitioned && s.lookahead > 0 && s.workers > 1 && len(s.shards) > 1 {
+		s.runWindows()
+	} else {
+		s.runSerial(infTime)
 	}
-	if s.parked > 0 {
-		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events", s.parked))
+	if n := s.parkedTotal(); n > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events", n))
 	}
 	s.flushCounter()
 	return s.now
 }
 
-// RunUntil executes events with timestamps <= deadline and advances the clock
-// to deadline. Parked processes may legitimately remain.
+// RunUntil executes events with timestamps <= deadline and advances the
+// clock to deadline. Parked processes may legitimately remain. RunUntil
+// always executes serialized (it is a debugging/driver primitive, not the
+// throughput path).
 func (s *Sim) RunUntil(deadline Time) Time {
+	s.runSerial(deadline)
+	if s.now < deadline {
+		s.setNow(deadline)
+	}
+	s.flushCounter()
+	return s.now
+}
+
+// setNow advances the global clock and every shard clock to t.
+func (s *Sim) setNow(t Time) {
+	s.now = t
+	for _, sh := range s.shards {
+		if sh.now < t {
+			sh.now = t
+		}
+	}
+}
+
+// runSerial fires events in global (at, ord) order on the calling
+// goroutine until the calendar drains or every pending event lies beyond
+// the deadline. One shard uses a tight loop on its heap; several use a
+// lazy top-heap merged loop over the per-shard heaps.
+func (s *Sim) runSerial(deadline Time) {
+	defer func() { s.cur = nil }()
+	if len(s.shards) == 1 {
+		sh := s.sh0
+		for sh.events.len() > 0 {
+			if t, _ := sh.events.peek(); t > deadline {
+				break
+			}
+			s.fireSerial(sh, sh.events.pop())
+		}
+		return
+	}
+	s.rebuildTops()
 	for {
-		t, ok := s.events.peek()
-		if !ok || t > deadline {
+		sh, ok := s.minShard(deadline)
+		if !ok {
 			break
 		}
-		s.fire(s.events.pop())
+		s.fireSerial(sh, sh.events.pop())
+		s.refreshTops(sh)
 	}
-	if s.now < deadline {
-		s.now = deadline
+}
+
+// topEntry orders shards by the key of their earliest pending event.
+// Entries are lazy: a shard's heap may have changed since its entry was
+// pushed, so entries are validated against the live heap head on pop and
+// discarded when stale.
+type topEntry struct {
+	at  Time
+	ord uint64
+	sh  *Shard
+}
+
+type topHeap []topEntry
+
+func (h topHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	s.flushCounter()
-	return s.now
+	return h[i].ord < h[j].ord
+}
+
+func (h *topHeap) push(e topEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *topHeap) pop() topEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = topEntry{}
+	*h = old[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			break
+		}
+		(*h)[i], (*h)[c] = (*h)[c], (*h)[i]
+		i = c
+	}
+	return top
+}
+
+// rebuildTops seeds the shard-order heap from every non-empty shard.
+func (s *Sim) rebuildTops() {
+	s.tops = s.tops[:0]
+	s.dirty = s.dirty[:0]
+	for _, sh := range s.shards {
+		if at, ord, ok := sh.events.head(); ok {
+			s.tops.push(topEntry{at: at, ord: ord, sh: sh})
+		}
+	}
+}
+
+// refreshTops re-registers the fired shard and every shard whose heap
+// received pushes during the event, then clears the dirty list.
+func (s *Sim) refreshTops(fired *Shard) {
+	if at, ord, ok := fired.events.head(); ok {
+		s.tops.push(topEntry{at: at, ord: ord, sh: fired})
+	}
+	for _, sh := range s.dirty {
+		if sh == fired {
+			continue
+		}
+		if at, ord, ok := sh.events.head(); ok {
+			s.tops.push(topEntry{at: at, ord: ord, sh: sh})
+		}
+	}
+	s.dirty = s.dirty[:0]
+}
+
+// minShard returns the shard holding the globally earliest event at or
+// before the deadline, discarding stale top entries on the way.
+func (s *Sim) minShard(deadline Time) (*Shard, bool) {
+	for len(s.tops) > 0 {
+		top := s.tops[0]
+		at, ord, ok := top.sh.events.head()
+		if !ok || at != top.at || ord != top.ord {
+			// Stale: the shard's head changed since this entry was pushed.
+			// If the shard still has events it also has a fresher entry
+			// (pushes refresh via dirty), so dropping is safe.
+			s.tops.pop()
+			continue
+		}
+		if at > deadline {
+			return nil, false
+		}
+		s.tops.pop()
+		return top.sh, true
+	}
+	return nil, false
+}
+
+// parkedTotal sums parked processes across shards.
+func (s *Sim) parkedTotal() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.parked
+	}
+	return n
 }
 
 // Executed returns the number of events fired so far.
-func (s *Sim) Executed() uint64 { return s.executed }
+func (s *Sim) Executed() uint64 {
+	n := s.executed
+	for _, sh := range s.shards {
+		n += sh.executed
+	}
+	return n
+}
 
 // SetEventCounter installs a shared counter that accumulates the number of
 // events this simulation fires; Run and RunUntil flush into it on return.
@@ -289,8 +665,158 @@ func (s *Sim) SetEventCounter(c *atomic.Int64) { s.counter = c }
 
 // flushCounter adds events fired since the last flush to the shared counter.
 func (s *Sim) flushCounter() {
-	if s.counter != nil && s.executed > 0 {
-		s.counter.Add(int64(s.executed))
+	if s.counter == nil {
+		return
+	}
+	if n := s.Executed(); n > 0 {
+		s.counter.Add(int64(n))
 		s.executed = 0
+		for _, sh := range s.shards {
+			sh.executed = 0
+		}
+	}
+}
+
+// runWindows executes the partitioned simulation with conservative
+// synchronization on a worker pool. Each round the coordinator drains every
+// shard inbox, computes the global floor T0 = min over shards of their
+// earliest pending event, and releases every shard holding events below
+// T0 + lookahead to the workers; such events cannot be affected by any
+// neighbor, because a cross-shard event sent at or after T0 arrives no
+// earlier than T0 + lookahead. Cross-shard sends made inside the window are
+// buffered in the target's inbox and become visible at the next barrier;
+// per-shard trace streams are merged into the sink in global (at, ord)
+// order at each barrier.
+func (s *Sim) runWindows() {
+	if s.trace != nil {
+		panic("sim: SetTrace hook is serial-only; remove it before running with workers > 1")
+	}
+	nw := s.workers
+	if nw > len(s.shards) {
+		nw = len(s.shards)
+	}
+	work := make(chan *Shard)
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		go func() {
+			for sh := range work {
+				s.runShardWindow(sh)
+				wg.Done()
+			}
+		}()
+	}
+	defer close(work)
+
+	runnable := make([]*Shard, 0, len(s.shards))
+	for {
+		for _, sh := range s.shards {
+			sh.drainInbox()
+		}
+		t0 := infTime
+		for _, sh := range s.shards {
+			if t, ok := sh.events.peek(); ok && t < t0 {
+				t0 = t
+			}
+		}
+		if t0 == infTime {
+			break
+		}
+		bound := t0 + s.lookahead
+		runnable = runnable[:0]
+		for _, sh := range s.shards {
+			if t, ok := sh.events.peek(); ok && t < bound {
+				sh.bound = bound
+				runnable = append(runnable, sh)
+			}
+		}
+		s.inWindow = true
+		if len(runnable) == 1 {
+			// A lone runnable shard needs no hand-off; run it inline under
+			// the same window semantics so ord stamping and clamping are
+			// identical to the dispatched path.
+			s.runShardWindow(runnable[0])
+		} else {
+			wg.Add(len(runnable))
+			for _, sh := range runnable {
+				work <- sh
+			}
+			wg.Wait()
+		}
+		s.inWindow = false
+		s.mergeWindowTrace(runnable)
+		for _, sh := range runnable {
+			if sh.failure != nil {
+				panic(sh.failure.(procPanic).String())
+			}
+		}
+	}
+	// Final clock: the latest instant any shard reached.
+	end := s.now
+	for _, sh := range s.shards {
+		if sh.now > end {
+			end = sh.now
+		}
+	}
+	s.setNow(end)
+}
+
+// runShardWindow fires sh's events strictly below sh.bound. It runs on a
+// worker goroutine (or inline for a lone runnable shard); everything it
+// touches is shard-private, and a panic is captured into sh.failure for the
+// coordinator to rethrow deterministically at the barrier.
+func (s *Sim) runShardWindow(sh *Shard) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pp, ok := r.(procPanic); ok {
+				if sh.failure == nil {
+					sh.failure = pp
+				}
+			} else if sh.failure == nil {
+				sh.failure = procPanic{name: fmt.Sprintf("shard%d event", sh.id), val: r}
+			}
+		}
+	}()
+	for sh.events.len() > 0 {
+		if t, _ := sh.events.peek(); t >= sh.bound {
+			break
+		}
+		e := sh.events.pop()
+		sh.now = e.at
+		sh.firingOrd = e.ord
+		sh.emitIdx = 0
+		sh.executed++
+		if e.p != nil {
+			sh.parked--
+			e.p.resume <- struct{}{}
+			<-sh.yield
+		} else {
+			e.fn()
+		}
+		if sh.failure != nil {
+			return
+		}
+	}
+}
+
+// mergeWindowTrace merges the window's per-shard trace buffers into the
+// sink in global (at, ord, sub) order and resets the buffers.
+func (s *Sim) mergeWindowTrace(runnable []*Shard) {
+	if s.sink == nil {
+		for _, sh := range runnable {
+			sh.tbuf = sh.tbuf[:0]
+		}
+		return
+	}
+	s.streams = s.streams[:0]
+	for _, sh := range runnable {
+		if len(sh.tbuf) > 0 {
+			s.streams = append(s.streams, sh.tbuf)
+		}
+	}
+	if len(s.streams) > 0 {
+		trace.MergeKeyed(s.streams, s.sink.Emit)
+	}
+	for _, sh := range runnable {
+		sh.tbuf = sh.tbuf[:0]
 	}
 }

@@ -1,0 +1,86 @@
+package trace
+
+// Keyed is an event tagged with its global ordering key: the simulated time
+// and kernel ordinal of the event that emitted it, plus the emission index
+// within that firing (one fired event may emit several trace records).
+//
+// The partitioned simulation kernel buffers each shard's emissions as Keyed
+// records during a parallel window and merges the per-shard streams with
+// MergeKeyed at the window barrier, so the sink observes exactly the order
+// a serialized run would have produced.
+type Keyed struct {
+	At  int64  // simulated time of the emitting event
+	Ord uint64 // kernel ordinal of the emitting event (unique per run)
+	Sub int    // emission index within the firing, 0-based
+	E   Event
+}
+
+// keyedLess orders by (At, Ord, Sub) — the global serialized emission order.
+func keyedLess(a, b Keyed) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Ord != b.Ord {
+		return a.Ord < b.Ord
+	}
+	return a.Sub < b.Sub
+}
+
+// MergeKeyed merges streams — each already sorted by (At, Ord, Sub), as a
+// shard's own emission buffer always is — into one globally ordered stream,
+// calling emit for every event in merged order. It allocates only the small
+// per-call cursor heap.
+func MergeKeyed(streams [][]Keyed, emit func(Event)) {
+	// Cursor heap: one entry per non-empty stream, ordered by the head
+	// element's key.
+	type cursor struct {
+		sl []Keyed
+		i  int
+	}
+	h := make([]cursor, 0, len(streams))
+	less := func(a, b cursor) bool { return keyedLess(a.sl[a.i], b.sl[b.i]) }
+	push := func(c cursor) {
+		h = append(h, c)
+		for i := len(h) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !less(h[i], h[parent]) {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i, n := 0, len(h)
+		for {
+			c := 2*i + 1
+			if c >= n {
+				return
+			}
+			if c+1 < n && less(h[c+1], h[c]) {
+				c++
+			}
+			if !less(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for _, sl := range streams {
+		if len(sl) > 0 {
+			push(cursor{sl: sl})
+		}
+	}
+	for len(h) > 0 {
+		c := &h[0]
+		emit(c.sl[c.i].E)
+		c.i++
+		if c.i == len(c.sl) {
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
+		}
+		siftDown()
+	}
+}
