@@ -4,7 +4,8 @@
 // Usage:
 //
 //	gammabench [-quick] [-list] [-parallel N] [-json] [-kernel serial|partitioned]
-//	           [-kernel-workers N] [-experiment a,b] [experiment ...]
+//	           [-kernel-workers N] [-campaign-seed S] [-campaign-faults N]
+//	           [-experiment a,b] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs; experiments
 // can be named positionally or as a comma-separated -experiment list (both
@@ -85,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kernel := fs.String("kernel", "", "simulation `kernel`: serial (default) or partitioned; partitioned shards each machine one-per-node with the serial order as oracle")
 	kernelWorkers := fs.Int("kernel-workers", 0, "worker goroutines per partitioned simulation's conservative windows (models with positive lookahead only)")
 	experiment := fs.String("experiment", "", "comma-separated experiment `ids` to run (adds to positional ids)")
+	campaignSeed := fs.Uint64("campaign-seed", 0, "`seed` for the availability experiment's fault campaign (0 = default)")
+	campaignFaults := fs.Int("campaign-faults", 0, "faults per availability campaign (0 = default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file`")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +126,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts.KernelWorkers = *kernelWorkers
+	if *campaignFaults < 0 {
+		fmt.Fprintf(stderr, "gammabench: -campaign-faults must be >= 0 (got %d)\n", *campaignFaults)
+		fs.Usage()
+		return 2
+	}
+	opts.CampaignSeed = *campaignSeed
+	opts.CampaignFaults = *campaignFaults
 
 	ids := fs.Args()
 	for _, id := range strings.Split(*experiment, ",") {

@@ -54,6 +54,13 @@ type Options struct {
 	// scale experiment uses it). GAMMA_KERNEL_WORKERS overrides zero.
 	KernelWorkers int
 
+	// CampaignSeed seeds the availability experiment's generated fault
+	// campaign (0 selects the default seed) and CampaignFaults sets how
+	// many faults it injects per row (0 selects the default count). Same
+	// seed, same campaign, byte-identical report.
+	CampaignSeed   uint64
+	CampaignFaults int
+
 	// sem is the suite-wide worker-slot semaphore shared by RunSuite and
 	// parMap; nil means serial. events, when set, accumulates the number of
 	// simulated events across every machine the experiment builds.

@@ -139,7 +139,7 @@ func (m *Machine) RunAgg(q AggQuery) AggResult {
 	var out AggResult
 	var res Result
 	m.runQuery(&res, func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
-		frags := m.scanSites(scan)
+		frags := m.mustScanSites(scan)
 		if q.GroupBy == nil {
 			m.runScalarAgg(p, ib, schedPort, q, scan, frags, aggNodes[0], &out)
 		} else {

@@ -63,7 +63,7 @@ func TestRangePartitionedSelectUsesOnlyOverlappingSites(t *testing.T) {
 	m, _ := newMachineWithRel(4, 0, 100)
 	r := m.Load(LoadSpec{Name: "ranged", Strategy: RangeUniform, PartAttr: rel.Unique1},
 		genTuples(4000, 3))
-	frags := m.scanSites(ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, 500)})
+	frags := m.mustScanSites(ScanSpec{Rel: r, Pred: rel.Between(rel.Unique1, 0, 500)})
 	if len(frags) >= 4 {
 		t.Errorf("range query hit %d sites; range partitioning should confine it", len(frags))
 	}
@@ -82,7 +82,7 @@ func TestRangeUserExactMatchSingleSite(t *testing.T) {
 		Name: "usr", Strategy: RangeUser, PartAttr: rel.Unique1,
 		Bounds: []int32{999, 1999, 2999},
 	}, genTuples(4000, 3))
-	frags := m.scanSites(ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 2500)})
+	frags := m.mustScanSites(ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 2500)})
 	if len(frags) != 1 {
 		t.Fatalf("exact match hit %d sites", len(frags))
 	}

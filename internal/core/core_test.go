@@ -112,7 +112,7 @@ func TestOptimizerPathChoices(t *testing.T) {
 
 func TestExactMatchOnPartitioningAttrUsesOneSite(t *testing.T) {
 	m, r := newTestMachine(t, 4, 0, 1000)
-	frags := m.scanSites(ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 123)})
+	frags := m.mustScanSites(ScanSpec{Rel: r, Pred: rel.Eq(rel.Unique1, 123)})
 	if len(frags) != 1 {
 		t.Fatalf("exact-match used %d sites, want 1", len(frags))
 	}

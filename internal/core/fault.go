@@ -64,6 +64,9 @@ func (m *Machine) CrashDisk(site int) {
 	nd.Fail()
 	nd.Drive.Fail()
 	m.reassignSpools()
+	if m.healer != nil {
+		m.healer.noteFault(site)
+	}
 }
 
 // FailDrive fails only the drive of disk site: the processor stays up, so
@@ -80,6 +83,9 @@ func (m *Machine) FailDrive(site int) {
 	})
 	nd.Drive.Fail()
 	m.reassignSpools()
+	if m.healer != nil {
+		m.healer.noteFault(site)
+	}
 }
 
 // NICOutage blocks a node's network interface for d, modeling a transient
@@ -94,6 +100,42 @@ func (m *Machine) NICOutage(node int, d sim.Dur) {
 		Node: nd.ID, End: int64(m.Sim.Now() + d),
 	})
 	nd.NIC.UseAsync(d)
+}
+
+// OutageDisk takes disk site down exactly like CrashDisk, then schedules its
+// rejoin d later: a transient power/partition outage rather than a permanent
+// loss. The node comes back cold (empty buffer pool, unknown arm position)
+// and immediately eligible as a re-replication target.
+func (m *Machine) OutageDisk(site int, d sim.Dur) {
+	m.CrashDisk(site)
+	m.Sim.At(m.Sim.Now()+d, func() { m.RejoinDisk(site) })
+}
+
+// RejoinDisk returns a previously crashed disk site to service: the node and
+// drive accept work again, the buffer pool is cold (its contents did not
+// survive the outage), and any spool assignment it held before the crash is
+// restored. Fragments whose files survived on the drive serve again as soon
+// as the directory still points at them; fragments the healer condemned and
+// re-replicated elsewhere stay gone — the rejoined node is simply spare
+// capacity (and a rebuild target) from here on. Idempotent.
+func (m *Machine) RejoinDisk(site int) {
+	nd := m.Disk[site]
+	if !nd.Failed() {
+		return
+	}
+	nd.Recover()
+	nd.Drive.Repair()
+	if st := m.stores[nd.ID]; st != nil {
+		st.Pool().Reset()
+	}
+	nd.SpoolNode = nd
+	m.Sim.Emit(trace.Event{
+		At: int64(m.Sim.Now()), Kind: trace.KindHeal, Class: "rejoin",
+		Node: nd.ID, Site: site,
+	})
+	if m.healer != nil {
+		m.healer.noteRejoin(site)
+	}
 }
 
 // reassignSpools points every processor whose spool drive is gone at the
@@ -123,21 +165,42 @@ func (m *Machine) driveUp(nd *nose.Node) bool {
 	return !nd.Failed() && nd.Drive != nil && !nd.Drive.Failed()
 }
 
+// ErrUnavailable is the typed error a query returns when it cannot complete:
+// some fragment it needs has no readable copy (two adjacent failures, or no
+// mirroring), or its failover retries were exhausted. It fails only the
+// affected query — the machine and every other query keep running.
+type ErrUnavailable struct {
+	// Rel and Frag name the unreadable fragment ("" when the failure is
+	// retry exhaustion rather than a specific lost fragment).
+	Rel  string
+	Frag int
+	// Attempts is how many attempts the query made before giving up.
+	Attempts int
+}
+
+func (e *ErrUnavailable) Error() string {
+	if e.Rel != "" {
+		return fmt.Sprintf("core: fragment %d of %s unavailable (primary down, no live backup)", e.Frag, e.Rel)
+	}
+	return fmt.Sprintf("core: unavailable after %d failover attempts (more failures than disk sites)", e.Attempts)
+}
+
 // liveFrag returns the readable copy of fragment i of r: the primary, or —
-// when the primary's node or drive is lost — its chained-declustered backup
-// on the next disk node. It panics when neither copy is readable (data loss:
-// two adjacent failures, or no mirroring).
-func (m *Machine) liveFrag(r *Relation, i int) *Fragment {
+// when the primary's node or drive is lost — its chained-declustered backup.
+// backup reports that the degraded copy was chosen. When neither copy is
+// readable it returns an *ErrUnavailable (data loss for this fragment; the
+// query fails, the machine survives).
+func (m *Machine) liveFrag(r *Relation, i int) (frag *Fragment, backup bool, err error) {
 	fr := r.Frags[i]
 	if m.driveUp(fr.Node) {
-		return fr
+		return fr, false, nil
 	}
 	if i < len(r.Backups) {
-		if b := r.Backups[i]; m.driveUp(b.Node) {
-			return b
+		if b := r.Backups[i]; b != nil && m.driveUp(b.Node) {
+			return b, true, nil
 		}
 	}
-	panic(fmt.Sprintf("core: fragment %d of %s unavailable (primary down, no live backup)", i, r.Name))
+	return nil, false, &ErrUnavailable{Rel: r.Name, Frag: i}
 }
 
 // reportDriveLoss is the deferred recovery handler for operators without an

@@ -78,6 +78,7 @@ type Machine struct {
 	mirrored bool
 	ftDetect sim.Dur             // operator-silence detection timeout; 0 = failover off
 	procs    map[int][]*sim.Proc // live operator processes per node
+	healer   *Healer             // non-nil after EnableHealing (heal.go)
 
 	// Trace is the structured event collector, non-nil after EnableTrace.
 	Trace *trace.Collector
@@ -393,8 +394,9 @@ func rangeSite(bounds []int32, v int32) int {
 // newResultRelation registers an (initially empty) result relation whose
 // fragments live on every disk node; results are distributed round-robin,
 // Gamma's default for relations created by a query (§2). width narrows the
-// stored tuples (projection); 0 keeps full tuples.
-func (m *Machine) newResultRelation(name string, width int) *Relation {
+// stored tuples (projection); 0 keeps full tuples. With no surviving disk
+// node it returns *ErrUnavailable — the query fails, the machine survives.
+func (m *Machine) newResultRelation(name string, width int) (*Relation, error) {
 	if name == "" {
 		m.nextRes++
 		name = fmt.Sprintf("result%d", m.nextRes)
@@ -417,10 +419,10 @@ func (m *Machine) newResultRelation(name string, width int) *Relation {
 		r.Frags = append(r.Frags, &Fragment{Node: nd, File: f, Indexes: map[rel.Attr]*wiss.BTree{}})
 	}
 	if len(r.Frags) == 0 {
-		panic("core: no surviving disk node to hold result relation " + name)
+		return nil, &ErrUnavailable{Rel: name}
 	}
 	m.catalog[name] = r
-	return r
+	return r, nil
 }
 
 // Drop removes a relation and its files (the QUEL abort/cleanup path).
@@ -430,10 +432,15 @@ func (m *Machine) Drop(name string) {
 		return
 	}
 	for _, fr := range r.Frags {
-		m.stores[fr.Node.ID].DropFile(fr.File)
+		if fr != nil {
+			m.stores[fr.Node.ID].DropFile(fr.File)
+		}
 	}
 	for _, fr := range r.Backups {
-		m.stores[fr.Node.ID].DropFile(fr.File)
+		// Backup slots can be nil after the healer condemned a lost copy.
+		if fr != nil {
+			m.stores[fr.Node.ID].DropFile(fr.File)
+		}
 	}
 	delete(m.catalog, name)
 }

@@ -33,16 +33,28 @@ func (m *Machine) resolveScan(s ScanSpec) ScanSpec {
 // predicates on the partitioning attribute of hashed or range-partitioned
 // relations are directed to a single site; range predicates on the
 // partitioning attribute of range-partitioned relations visit only the
-// overlapping sites. Everything else runs on all sites (§2).
-func (m *Machine) scanSites(s ScanSpec) []*Fragment {
+// overlapping sites. Everything else runs on all sites (§2). degraded
+// reports that at least one site resolved to a backup copy; err is
+// *ErrUnavailable when some needed fragment has no readable copy (the query
+// fails, the machine survives). scanSites consults only directory state and
+// costs no simulated time, so callers may invoke it before committing any
+// resources to the attempt.
+func (m *Machine) scanSites(s ScanSpec) (frags []*Fragment, degraded bool, err error) {
 	r := s.Rel
 	pr := s.Pred
+	one := func(i int) ([]*Fragment, bool, error) {
+		fr, bak, err := m.liveFrag(r, i)
+		if err != nil {
+			return nil, false, err
+		}
+		return []*Fragment{fr}, bak, nil
+	}
 	if !pr.IsTrue() && pr.Attr == r.PartAttr {
 		switch r.Strategy {
 		case Hashed:
 			if pr.Lo == pr.Hi {
 				j := int(rel.Hash64(pr.Lo, LoadSeed) % uint64(len(r.Frags)))
-				return []*Fragment{m.liveFrag(r, j)}
+				return one(j)
 			}
 		case RangeUser, RangeUniform:
 			var out []*Fragment
@@ -51,21 +63,42 @@ func (m *Machine) scanSites(s ScanSpec) []*Fragment {
 				// Fragment i holds keys in (prev, b].
 				fragLo, fragHi := prev+1, int64(b)
 				if int64(pr.Hi) >= fragLo && int64(pr.Lo) <= fragHi {
-					out = append(out, m.liveFrag(r, i))
+					fr, bak, err := m.liveFrag(r, i)
+					if err != nil {
+						return nil, false, err
+					}
+					degraded = degraded || bak
+					out = append(out, fr)
 				}
 				prev = fragHi
 			}
 			if len(out) > 0 {
-				return out
+				return out, degraded, nil
 			}
-			return []*Fragment{m.liveFrag(r, 0)}
+			return one(0)
 		}
 	}
 	out := make([]*Fragment, len(r.Frags))
 	for i := range r.Frags {
-		out[i] = m.liveFrag(r, i)
+		fr, bak, err := m.liveFrag(r, i)
+		if err != nil {
+			return nil, false, err
+		}
+		degraded = degraded || bak
+		out[i] = fr
 	}
-	return out
+	return out, degraded, nil
+}
+
+// mustScanSites is scanSites for call sites that predate the typed error
+// path (aggregates, sorts, tests): unavailability panics, exactly like the
+// pre-healing behavior.
+func (m *Machine) mustScanSites(s ScanSpec) []*Fragment {
+	frags, _, err := m.scanSites(s)
+	if err != nil {
+		panic(err.Error())
+	}
+	return frags
 }
 
 // PropagateSelection applies the optimizer rewrite the paper describes for

@@ -77,6 +77,17 @@ type Result struct {
 	// Diag is the bottleneck classification of the query's span, non-nil
 	// when the machine has tracing enabled (Machine.EnableTrace).
 	Diag *trace.Verdict
+
+	// Err is non-nil when the query could not complete: some fragment had no
+	// readable copy, or failover retries were exhausted (*ErrUnavailable).
+	// Only this query fails; the machine keeps serving others.
+	Err error
+	// Degraded reports that the successful attempt read at least one backup
+	// copy in place of a lost primary — the result is correct but was
+	// produced in degraded mode, and is never silently presented as healthy.
+	Degraded bool
+	// Attempts is the number of attempts executed (1 for a clean run).
+	Attempts int
 }
 
 // initOp charges the scheduler the §6.2.3 cost of initiating one operator on
@@ -89,8 +100,19 @@ func (m *Machine) initOp(p *sim.Proc, node *nose.Node) {
 
 // JoinNodes returns the processors that execute join operators in a mode,
 // excluding crashed nodes (a node with only a failed drive still joins; its
-// spooling was re-pointed at a surviving drive).
+// spooling was re-pointed at a surviving drive). It panics when no
+// processor survives; the typed-error query path uses joinNodesErr.
 func (m *Machine) JoinNodes(mode JoinMode) []*nose.Node {
+	out, err := m.joinNodesErr(mode)
+	if err != nil {
+		panic("core: no surviving processor to run join operators")
+	}
+	return out
+}
+
+// joinNodesErr is JoinNodes for the typed-error query path: an empty
+// survivor set returns *ErrUnavailable instead of panicking.
+func (m *Machine) joinNodesErr(mode JoinMode) ([]*nose.Node, error) {
 	var cand []*nose.Node
 	switch mode {
 	case Local:
@@ -111,9 +133,9 @@ func (m *Machine) JoinNodes(mode JoinMode) []*nose.Node {
 		}
 	}
 	if len(out) == 0 {
-		panic("core: no surviving processor to run join operators")
+		return nil, &ErrUnavailable{}
 	}
-	return out
+	return out, nil
 }
 
 // inbox buffers the scheduler's incoming control messages by kind so phases
@@ -401,14 +423,16 @@ func (ib *inbox) tag() string {
 }
 
 // beginAttempt snapshots machine health and emits the retry marker for
-// re-dispatches. It panics if attempts exceed the disk-site count — more
-// failures than sites means something other than hardware loss is wrong.
-func (ib *inbox) beginAttempt(m *Machine, res *Result) {
+// re-dispatches. When attempts exceed the disk-site count — more distinct
+// failures than sites means the cluster cannot serve this query — it returns
+// *ErrUnavailable, bounding the retry loop with a typed per-query error.
+func (ib *inbox) beginAttempt(m *Machine, res *Result) error {
+	res.Attempts++
 	if ib.ft == nil {
-		return
+		return nil
 	}
 	if ib.ft.attempt > len(m.Disk) {
-		panic("core: failover retries exceeded disk site count")
+		return &ErrUnavailable{Attempts: ib.ft.attempt}
 	}
 	ib.ft.resnap()
 	if ib.ft.attempt > 0 {
@@ -417,6 +441,39 @@ func (ib *inbox) beginAttempt(m *Machine, res *Result) {
 			Query: res.Query, N: ib.ft.attempt,
 		})
 	}
+	return nil
+}
+
+// retryBackoff delays a re-dispatch with exponential backoff plus
+// deterministic jitter: attempt k sleeps base<<(k-1) (capped) plus a jitter
+// drawn from a splitmix64 stream seeded by the query id and attempt number,
+// so retries from queries that aborted at the same instant fan out instead
+// of stampeding the scheduler, and identical runs remain byte-identical.
+const (
+	retryBackoffBase = 10 * sim.Millisecond
+	retryBackoffCap  = 500 * sim.Millisecond
+)
+
+func (m *Machine) retryBackoff(p *sim.Proc, ib *inbox, res *Result) {
+	if ib.ft == nil {
+		return
+	}
+	k := ib.ft.attempt // already incremented by abortAttempt
+	d := retryBackoffBase
+	for i := 1; i < k && d < retryBackoffCap; i++ {
+		d <<= 1
+	}
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	// FNV-1a over the query id, mixed with the attempt number.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(res.Query); i++ {
+		h = (h ^ uint64(res.Query[i])) * 1099511628211
+	}
+	state := h ^ uint64(k)
+	jitter := sim.Dur(splitmix64(&state) % uint64(d))
+	p.Sleep(d + jitter)
 }
 
 // launchQuery spawns the host and scheduler processes around `body` without
@@ -494,16 +551,20 @@ type storeSet struct {
 }
 
 // setupStores creates the result relation (unless toHost) and initiates one
-// store operator per surviving disk node, or a host collector.
-func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res *Result, resultName string, toHost bool, width int) *storeSet {
+// store operator per surviving disk node, or a host collector. It returns
+// *ErrUnavailable when no disk node survives to hold the result.
+func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res *Result, resultName string, toHost bool, width int) (*storeSet, error) {
 	ss := &storeSet{op: "store" + ib.tag()}
 	if toHost {
 		colPort := m.Host.NewPort(ss.op)
 		spawnCollector(m, ss.op, m.Host, colPort, schedPort, nil)
 		ss.ports = []*nose.Port{colPort}
-		return ss
+		return ss, nil
 	}
-	resRel := m.newResultRelation(resultName, width)
+	resRel, err := m.newResultRelation(resultName, width)
+	if err != nil {
+		return nil, err
+	}
 	res.ResultName = resRel.Name
 	for i, frag := range resRel.Frags {
 		pt := frag.Node.NewPort(fmt.Sprintf("%s%d", ss.op, i))
@@ -511,7 +572,7 @@ func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res 
 		spawnStore(m, ss.op, i, frag, pt, schedPort)
 		ss.ports = append(ss.ports, pt)
 	}
-	return ss
+	return ss, nil
 }
 
 // close sends the final EOS count to every store and awaits their reports,
@@ -584,7 +645,8 @@ func (m *Machine) RunSelect(q SelectQuery) Result {
 
 // selectBody builds the scheduler program for a selection query: an attempt
 // loop that re-dispatches against backup fragments after a mid-query site
-// failure.
+// failure, backing off between attempts. A terminal error (no readable copy,
+// retries exhausted) lands in res.Err and ends the loop.
 func (m *Machine) selectBody(q SelectQuery, res *Result) func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
 	scan := m.resolveScan(q.Scan)
 	width := scan.Rel.width(m)
@@ -593,17 +655,33 @@ func (m *Machine) selectBody(q SelectQuery, res *Result) func(p *sim.Proc, ib *i
 	}
 	return func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
 		for !m.trySelect(p, ib, schedPort, q, res, scan, width) {
+			m.retryBackoff(p, ib, res)
 		}
 	}
 }
 
 // trySelect runs one attempt of a selection; false means the attempt hit a
-// site failure, was aborted, and should be retried.
+// site failure, was aborted, and should be retried. Terminal failures
+// (typed unavailability) set res.Err and return true — the query is done.
 func (m *Machine) trySelect(p *sim.Proc, ib *inbox, schedPort *nose.Port, q SelectQuery, res *Result, scan ScanSpec, width int) bool {
-	ib.beginAttempt(m, res)
-	ss := m.setupStores(p, ib, schedPort, res, q.ResultName, q.ToHost, width)
+	if err := ib.beginAttempt(m, res); err != nil {
+		res.Err = err
+		return true
+	}
+	// Plan the scan sites before committing resources: a directory with no
+	// readable copy fails the attempt terminally with nothing to tear down.
+	frags, degraded, err := m.scanSites(scan)
+	if err != nil {
+		res.Err = err
+		return true
+	}
+	res.Degraded = degraded
+	ss, err := m.setupStores(p, ib, schedPort, res, q.ResultName, q.ToHost, width)
+	if err != nil {
+		res.Err = err
+		return true
+	}
 	selOp := "select" + ib.tag()
-	frags := m.scanSites(scan)
 	for si, frag := range frags {
 		m.initOp(p, frag.Node)
 		spawnSelect(m, selOp, si, frag, scan.Pred, scan.Path, func() selectOutput {
@@ -613,7 +691,7 @@ func (m *Machine) trySelect(p *sim.Proc, ib *inbox, schedPort *nose.Port, q Sele
 			}
 		}, schedPort)
 	}
-	err := func() error {
+	err = func() error {
 		dones, err := ib.waitDones(selOp, len(frags))
 		if err != nil {
 			return err
@@ -785,17 +863,51 @@ func (m *Machine) joinBody(q JoinQuery, res *Result) func(p *sim.Proc, ib *inbox
 	}
 	return func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
 		for !m.tryJoin(p, ib, schedPort, q, res, build, probe, build2, memPer) {
+			m.retryBackoff(p, ib, res)
 		}
 	}
 }
 
 // tryJoin runs one attempt of a join query; false means the attempt hit a
 // site failure, was aborted, and should be retried against the survivors.
+// Terminal failures (typed unavailability) set res.Err and return true.
 func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQuery, res *Result, build, probe, build2 ScanSpec, memPer int) bool {
-	ib.beginAttempt(m, res)
+	if err := ib.beginAttempt(m, res); err != nil {
+		res.Err = err
+		return true
+	}
 	tag := ib.tag()
-	joinNodes := m.JoinNodes(q.Mode)
+	// Plan everything that consults only directory state — join sites and
+	// every scan's fragment list — before committing resources, so a plan
+	// that cannot be satisfied fails terminally with nothing to tear down.
+	joinNodes, err := m.joinNodesErr(q.Mode)
+	if err != nil {
+		res.Err = err
+		return true
+	}
 	nJ := len(joinNodes)
+	var b2frags []*Fragment
+	degraded := false
+	if q.Build2 != nil {
+		var bak bool
+		b2frags, bak, err = m.scanSites(build2)
+		if err != nil {
+			res.Err = err
+			return true
+		}
+		degraded = degraded || bak
+	}
+	bfrags, bakB, err := m.scanSites(build)
+	if err != nil {
+		res.Err = err
+		return true
+	}
+	pfrags, bakP, err := m.scanSites(probe)
+	if err != nil {
+		res.Err = err
+		return true
+	}
+	res.Degraded = degraded || bakB || bakP
 	// Hybrid hash join plans its partition count from the optimizer's
 	// estimate of the per-site build size.
 	hybridParts := 0
@@ -806,14 +918,17 @@ func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQu
 		}
 	}
 
-	ss := m.setupStores(p, ib, schedPort, res, q.ResultName, false, 0)
+	ss, err := m.setupStores(p, ib, schedPort, res, q.ResultName, false, 0)
+	if err != nil {
+		res.Err = err
+		return true
+	}
 	var st1, st2 *stage
-	err := func() error {
+	err = func() error {
 		// Optional second stage, built first so stage one can stream
 		// into it.
 		if q.Build2 != nil {
 			st2 = m.newStage("join2"+tag, joinNodes, q.Build2Attr, q.Probe2Attr)
-			b2frags := m.scanSites(build2)
 			for si, nd := range joinNodes {
 				m.initOp(p, nd)
 				spawnJoin(joinSpec{
@@ -848,8 +963,6 @@ func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQu
 			outStream = streamProbe
 			mkOutRoute = func() RouteFn { return HashRoute(q.Probe2Attr, LoadSeed, nJ) }
 		}
-		bfrags := m.scanSites(build)
-		pfrags := m.scanSites(probe)
 		for si, nd := range joinNodes {
 			m.initOp(p, nd)
 			spawnJoin(joinSpec{

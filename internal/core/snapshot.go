@@ -89,6 +89,12 @@ func (m *Machine) Snapshot() *Snapshot {
 			ri.frags = append(ri.frags, snapFragment(fr, site))
 		}
 		for _, fr := range r.Backups {
+			if fr == nil {
+				// A slot the healer condemned and has not yet rebuilt:
+				// recorded as a hole (site -1) and restored as one.
+				ri.backups = append(ri.backups, fragImage{site: -1})
+				continue
+			}
 			ri.backups = append(ri.backups, snapFragment(fr, site))
 		}
 		snap.rels = append(snap.rels, ri)
@@ -139,6 +145,10 @@ func RestoreMachine(s *sim.Sim, snap *Snapshot) *Machine {
 			r.Frags = append(r.Frags, m.restoreFragment(fi))
 		}
 		for _, fi := range ri.backups {
+			if fi.site < 0 {
+				r.Backups = append(r.Backups, nil)
+				continue
+			}
 			r.Backups = append(r.Backups, m.restoreFragment(fi))
 		}
 		m.catalog[r.Name] = r

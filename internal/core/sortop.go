@@ -34,10 +34,13 @@ func (m *Machine) RunSort(q SortQuery) Result {
 	scan := m.resolveScan(q.Scan)
 	var res Result
 	m.runQuery(&res, func(p *sim.Proc, ib *inbox, schedPort *nose.Port) {
-		frags := m.scanSites(scan)
+		frags := m.mustScanSites(scan)
 		mergeNode := m.Disk[0]
 		mergePort := mergeNode.NewPort("merge")
-		resRel := m.newResultRelation(q.ResultName, 0)
+		resRel, rerr := m.newResultRelation(q.ResultName, 0)
+		if rerr != nil {
+			panic(rerr.Error()) // sorts predate the typed-error path
+		}
 		res.ResultName = resRel.Name
 
 		// Phase 1: per-site filter + external sort into a local run.

@@ -63,6 +63,20 @@ type WorkloadResult struct {
 	// Responses[term*PerTerminal+q]. Byte-identical across reruns.
 	Responses []sim.Dur
 
+	// Completions holds every query's completion instant in completion
+	// order, so availability experiments can compute windowed throughput
+	// (and its dip around a fault) after the fact.
+	Completions []sim.Time
+
+	// Availability classification: Clean queries saw only primary copies,
+	// Degraded queries completed correctly but read at least one backup (or
+	// retried past a mid-query failure), Failed queries ended with a typed
+	// error (no readable copy / retries exhausted). Clean+Degraded+Failed ==
+	// Queries. Failed queries contribute no tuples.
+	Clean    int
+	Degraded int
+	Failed   int
+
 	// MaxInFlight is the highest number of concurrently executing queries
 	// observed (≤ MaxConcurrent when capped).
 	MaxInFlight int
@@ -142,9 +156,11 @@ func (m *Machine) RunWorkload(spec WorkloadSpec) WorkloadResult {
 
 	total := spec.Terminals * spec.PerTerminal
 	responses := make([]sim.Dur, total)
+	completions := make([]sim.Time, 0, total)
 	start := m.Sim.Now()
 	var lastDone sim.Time
 	tuples := 0
+	clean, degraded, failed := 0, 0, 0
 	for term := 0; term < spec.Terminals; term++ {
 		term := term
 		state := spec.Seed + uint64(term)*0x9E3779B97F4A7C15 + 1
@@ -179,10 +195,20 @@ func (m *Machine) RunWorkload(spec WorkloadSpec) WorkloadResult {
 				adm.release()
 				now := p.Now()
 				responses[term*spec.PerTerminal+q] = now - submitted
+				completions = append(completions, now)
 				if now > lastDone {
 					lastDone = now
 				}
-				tuples += res.Tuples
+				switch {
+				case res.Err != nil:
+					failed++
+				case res.Degraded || res.Attempts > 1:
+					degraded++
+					tuples += res.Tuples
+				default:
+					clean++
+					tuples += res.Tuples
+				}
 				if !spec.KeepResults && res.ResultName != "" {
 					m.Drop(res.ResultName)
 				}
@@ -195,10 +221,14 @@ func (m *Machine) RunWorkload(spec WorkloadSpec) WorkloadResult {
 	m.Sim.Run()
 
 	out := WorkloadResult{
-		Queries:   total,
-		Tuples:    tuples,
-		Elapsed:   lastDone - start,
-		Responses: responses,
+		Queries:     total,
+		Tuples:      tuples,
+		Elapsed:     lastDone - start,
+		Responses:   responses,
+		Completions: completions,
+		Clean:       clean,
+		Degraded:    degraded,
+		Failed:      failed,
 	}
 	if out.Elapsed > 0 {
 		out.Throughput = float64(total) / out.Elapsed.Seconds()

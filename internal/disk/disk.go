@@ -75,6 +75,15 @@ func (d *Drive) Fail() { d.failed = true }
 // Failed reports whether the drive has failed.
 func (d *Drive) Failed() bool { return d.failed }
 
+// Repair returns a failed drive to service (a node rejoining after a
+// transient outage): subsequent accesses succeed again. The positional state
+// is cleared — the arm position after a power cycle is unknown, so the first
+// access pays a random positioning cost.
+func (d *Drive) Repair() {
+	d.failed = false
+	d.haveLast = false
+}
+
 // Stats returns a copy of the drive's counters.
 func (d *Drive) Stats() Stats { return d.stats }
 

@@ -1,0 +1,115 @@
+package fault
+
+// Seeded fault campaigns: reproducible sequences of crash / bad-drive /
+// node-outage injections with Poisson-spaced arrival times drawn from an
+// MTTF model. A campaign is a pure function of its spec — the same seed
+// always yields the same injections, each of which round-trips through
+// ParseInjection/FormatInjection — so an availability experiment (and its
+// CI determinism check) can reference a campaign by seed alone.
+
+import (
+	"math"
+
+	"gamma/internal/sim"
+)
+
+// CampaignSpec parameterizes one generated fault campaign.
+type CampaignSpec struct {
+	// Seed derives the whole sequence; same seed, same campaign.
+	Seed uint64
+	// Sites is the number of disk sites faults may target (victims are
+	// drawn uniformly from [0, Sites)).
+	Sites int
+	// MTTF is the mean time between faults (the Poisson process's mean
+	// inter-arrival gap, for the cluster as a whole).
+	MTTF sim.Dur
+	// Start is when the first gap begins (faults land after Start, leaving
+	// a warm-up window for the workload to reach steady state).
+	Start sim.Time
+	// Faults is how many injections to generate.
+	Faults int
+	// MeanOutage is the mean dwell time of a NodeOutage before the node
+	// rejoins (exponentially distributed).
+	MeanOutage sim.Dur
+	// CrashW, DriveW, and OutageW weight the fault-mode mix. All zero
+	// selects the default 1:1:3 — outage-heavy, so a long campaign keeps
+	// returning capacity to the cluster instead of grinding it to nothing.
+	CrashW, DriveW, OutageW int
+}
+
+// campaignRNG wraps splitmix64 (the repo's deterministic generator; workload
+// terminals use the same one).
+type campaignRNG struct{ state uint64 }
+
+func (r *campaignRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit returns a uniform draw in (0, 1] — never zero, so ln(u) is finite.
+func (r *campaignRNG) unit() float64 {
+	return (float64(r.next()>>11) + 1) / float64(1<<53)
+}
+
+// exp returns an exponential draw with the given mean, floored at one
+// microsecond (a zero-length gap or outage would not be an event at all).
+func (r *campaignRNG) exp(mean sim.Dur) sim.Dur {
+	d := sim.Dur(math.Round(-float64(mean) * math.Log(r.unit())))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Campaign generates the spec's injection sequence in firing order. Times
+// are clamped to the spec grammar's bound, so every generated injection
+// survives FormatInjection → ParseInjection unchanged.
+func Campaign(spec CampaignSpec) []Injection {
+	if spec.Sites <= 0 || spec.Faults <= 0 {
+		return nil
+	}
+	mttf := spec.MTTF
+	if mttf <= 0 {
+		mttf = 10 * sim.Second
+	}
+	meanOut := spec.MeanOutage
+	if meanOut <= 0 {
+		meanOut = 5 * sim.Second
+	}
+	cw, dw, ow := spec.CrashW, spec.DriveW, spec.OutageW
+	if cw <= 0 && dw <= 0 && ow <= 0 {
+		cw, dw, ow = 1, 1, 3
+	}
+	total := uint64(cw + dw + ow)
+	rng := &campaignRNG{state: spec.Seed}
+	maxAt := sim.Time(maxSpecSeconds * float64(sim.Second))
+	out := make([]Injection, 0, spec.Faults)
+	at := spec.Start
+	for len(out) < spec.Faults {
+		at += sim.Time(rng.exp(mttf))
+		if at > maxAt {
+			at = maxAt
+		}
+		site := int(rng.next() % uint64(spec.Sites))
+		pick := int64(rng.next() % total)
+		switch {
+		case pick < int64(cw):
+			out = append(out, Crash(at, site))
+		case pick < int64(cw+dw):
+			out = append(out, BadDrive(at, site))
+		default:
+			d := rng.exp(meanOut)
+			if sim.Dur(maxAt-at) < d {
+				d = sim.Dur(maxAt - at)
+				if d < 1 {
+					d = 1
+				}
+			}
+			out = append(out, Outage(at, site, d))
+		}
+	}
+	return out
+}

@@ -30,6 +30,11 @@ const (
 	// NICOutage blocks a node's network interface for Dur; traffic queues
 	// behind the outage and drains afterwards. No failover is involved.
 	NICOutage
+	// NodeOutage crashes a disk site like NodeCrash, then rejoins it Dur
+	// later: the node comes back with a cold buffer pool and immediately
+	// eligible as a re-replication target (a transient power loss or
+	// partition, against NodeCrash's permanent loss).
+	NodeOutage
 )
 
 func (k Kind) String() string {
@@ -40,6 +45,8 @@ func (k Kind) String() string {
 		return "drive-fail"
 	case NICOutage:
 		return "nic-outage"
+	case NodeOutage:
+		return "outage"
 	default:
 		return fmt.Sprintf("fault.Kind(%d)", int(k))
 	}
@@ -49,16 +56,16 @@ func (k Kind) String() string {
 type Injection struct {
 	At   sim.Time // simulated instant the failure takes effect
 	Kind Kind
-	// Site is a disk-site index (NodeCrash, DriveFail) or a node ID
-	// (NICOutage, which can hit any processor).
+	// Site is a disk-site index (NodeCrash, DriveFail, NodeOutage) or a
+	// node ID (NICOutage, which can hit any processor).
 	Site int
-	// Dur is the outage length (NICOutage only).
+	// Dur is the outage length (NICOutage and NodeOutage only).
 	Dur sim.Dur
 }
 
 func (in Injection) String() string {
 	s := fmt.Sprintf("%s@%d t=%.3fs", in.Kind, in.Site, float64(in.At)/float64(sim.Second))
-	if in.Kind == NICOutage {
+	if in.Kind == NICOutage || in.Kind == NodeOutage {
 		s += fmt.Sprintf(" for %.3fs", float64(in.Dur)/float64(sim.Second))
 	}
 	return s
@@ -85,8 +92,15 @@ func BadDrive(at sim.Time, site int) Injection {
 	return Injection{At: at, Kind: DriveFail, Site: site}
 }
 
-// Outage returns a NIC-outage injection against a node ID.
-func Outage(at sim.Time, node int, d sim.Dur) Injection {
+// Outage returns a transient node-outage injection against a disk site: a
+// crash at `at` and a cold rejoin d later.
+func Outage(at sim.Time, site int, d sim.Dur) Injection {
+	return Injection{At: at, Kind: NodeOutage, Site: site, Dur: d}
+}
+
+// NICStall returns a NIC-outage injection against a node ID (the network
+// interface stalls for d; no failover is involved).
+func NICStall(at sim.Time, node int, d sim.Dur) Injection {
 	return Injection{At: at, Kind: NICOutage, Site: node, Dur: d}
 }
 
@@ -106,6 +120,8 @@ func Arm(m *core.Machine, s Schedule) {
 				m.FailDrive(in.Site)
 			case NICOutage:
 				m.NICOutage(in.Site, in.Dur)
+			case NodeOutage:
+				m.OutageDisk(in.Site, in.Dur)
 			default:
 				panic("fault: unknown injection kind " + in.Kind.String())
 			}
@@ -142,8 +158,8 @@ func parseSpecSeconds(s string) (float64, error) {
 }
 
 // ParseInjection parses the command-line form "site@seconds" (node crash),
-// "drive:site@seconds", or "nic:node@seconds+dur", e.g. "2@1.5" or
-// "nic:3@0.5+0.2".
+// "drive:site@seconds", "nic:node@seconds+dur", or "outage:site@seconds+dur",
+// e.g. "2@1.5", "nic:3@0.5+0.2", or "outage:1@2+5".
 func ParseInjection(s string) (Injection, error) {
 	kind := NodeCrash
 	rest := s
@@ -155,8 +171,10 @@ func ParseInjection(s string) (Injection, error) {
 			kind = DriveFail
 		case "nic":
 			kind = NICOutage
+		case "outage":
+			kind = NodeOutage
 		default:
-			return Injection{}, fmt.Errorf("unknown fault kind %q (want crash, drive, or nic)", k)
+			return Injection{}, fmt.Errorf("unknown fault kind %q (want crash, drive, nic, or outage)", k)
 		}
 		rest = r
 	}
@@ -169,11 +187,11 @@ func ParseInjection(s string) (Injection, error) {
 		return Injection{}, fmt.Errorf("fault %q: bad site %q", s, siteStr)
 	}
 	var dur sim.Dur
-	if kind == NICOutage {
+	if kind == NICOutage || kind == NodeOutage {
 		var durStr string
 		atStr, durStr, ok = strings.Cut(atStr, "+")
 		if !ok {
-			return Injection{}, fmt.Errorf("fault %q: nic outage wants node@seconds+dur", s)
+			return Injection{}, fmt.Errorf("fault %q: %s wants site@seconds+dur", s, kind)
 		}
 		durSec, err := parseSpecSeconds(durStr)
 		if err != nil || durSec <= 0 {
@@ -212,6 +230,8 @@ func FormatInjection(in Injection) string {
 		kind = "drive"
 	case NICOutage:
 		return fmt.Sprintf("nic:%d@%s+%s", in.Site, sec(in.At), sec(in.Dur))
+	case NodeOutage:
+		return fmt.Sprintf("outage:%d@%s+%s", in.Site, sec(in.At), sec(in.Dur))
 	default:
 		panic("fault: unknown injection kind " + in.Kind.String())
 	}

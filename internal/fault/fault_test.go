@@ -260,7 +260,7 @@ func TestNICOutage(t *testing.T) {
 	tr := st.m.EnableTrace()
 	at := st.m.Sim.Now() + sim.Time(refRes.Elapsed/4)
 	fault.Arm(st.m, fault.Schedule{Injections: []fault.Injection{
-		fault.Outage(at, st.m.Disk[1].ID, 1*sim.Second),
+		fault.NICStall(at, st.m.Disk[1].ID, 1*sim.Second),
 	}})
 	res := st.m.RunSelect(q(st))
 
@@ -329,7 +329,7 @@ func TestFaultDeterminism(t *testing.T) {
 		b := st.m.Load(core.LoadSpec{Name: "B", Strategy: core.Hashed, PartAttr: rel.Unique1}, wisconsin.Generate(nB, 8))
 		fault.Arm(st.m, fault.Schedule{Injections: []fault.Injection{
 			fault.Crash(st.m.Sim.Now()+400*sim.Millisecond, 2),
-			fault.Outage(st.m.Sim.Now()+100*sim.Millisecond, st.m.Diskless[0].ID, 50*sim.Millisecond),
+			fault.NICStall(st.m.Sim.Now()+100*sim.Millisecond, st.m.Diskless[0].ID, 50*sim.Millisecond),
 		}})
 		res := st.m.RunJoin(joinAselB(st, b, 64<<20))
 		var buf bytes.Buffer

@@ -25,6 +25,9 @@ var seedSpecs = []string{
 	"nic:1@0.5+0.2",
 	"nic:3@0.5+0.25",
 	"nic:0@0+0.000001",
+	"outage:1@2+5",
+	"outage:0@0.5+0.000001",
+	"outage:4@10+0.25",
 	"7@2.999999",
 	"crash:1@1e-3",
 	"drive:2@0.1234567",
@@ -56,11 +59,13 @@ func roundTrip(t *testing.T, spec string) {
 		t.Fatalf("format∘parse is not a fixed point:\n input %q\n canon %q\n again %q", spec, canon, again)
 	}
 	// An accepted injection is always usable: non-negative instant, a
-	// positive duration exactly when the kind is a NIC outage.
+	// positive duration exactly when the kind carries one (NIC or node
+	// outage).
 	if in.At < 0 || in.Site < 0 {
 		t.Fatalf("accepted spec %q produced invalid injection %+v", spec, in)
 	}
-	if (in.Kind == fault.NICOutage) != (in.Dur > 0) {
+	hasDur := in.Kind == fault.NICOutage || in.Kind == fault.NodeOutage
+	if hasDur != (in.Dur > 0) {
 		t.Fatalf("accepted spec %q has inconsistent duration: %+v", spec, in)
 	}
 }

@@ -165,6 +165,12 @@ func (nd *Node) Fail() {
 // Failed reports whether the node has crashed.
 func (nd *Node) Failed() bool { return nd.failed }
 
+// Recover reattaches a failed node (the rejoin half of a transient outage):
+// ports created from now on open normally. Ports closed by the failure stay
+// closed — their receivers are gone — and the caller is responsible for
+// restarting processes and repairing the drive, mirroring Fail. Idempotent.
+func (nd *Node) Recover() { nd.failed = false }
+
 // AddNode attaches a node; diskCfg is used only when withDisk is true. On a
 // partitioned simulation every node gets its own shard (the default shard
 // stays for machine-global objects like the ring, the scheduler, and the

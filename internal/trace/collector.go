@@ -57,6 +57,7 @@ type Collector struct {
 	faults    []Event // KindFault events, in emission order
 	failovers []Event // KindFailover events, in emission order
 	shared    []Event // KindSharedScan events, in emission order
+	heals     []Event // KindHeal/KindPromote/KindRebuild events, in emission order
 }
 
 // NewCollector returns an empty collector.
@@ -113,6 +114,8 @@ func (c *Collector) Emit(e Event) {
 		c.failovers = append(c.failovers, e)
 	case KindSharedScan:
 		c.shared = append(c.shared, e)
+	case KindHeal, KindPromote, KindRebuild:
+		c.heals = append(c.heals, e)
 	}
 }
 
@@ -183,6 +186,10 @@ func (c *Collector) Failovers() []Event { return c.failovers }
 
 // SharedScans returns every shared-scan attach/detach event in emission order.
 func (c *Collector) SharedScans() []Event { return c.shared }
+
+// Heals returns every healing-layer event (heal, promote, rebuild) in
+// emission order.
+func (c *Collector) Heals() []Event { return c.heals }
 
 // Resources returns every resource name seen, in registration order.
 func (c *Collector) Resources() []string {

@@ -38,6 +38,12 @@ type Verdict struct {
 	// versus private scans. Both zero when scan sharing is off.
 	SharedAttaches   int
 	SharedSavedPages int
+
+	// Healing context: backup-to-primary promotions and fragment rebuilds
+	// the healing manager completed inside the window. Both zero when
+	// healing is off or the window saw no faults.
+	Promotions int
+	Rebuilds   int
 }
 
 // classRank breaks exact utilization ties deterministically, preferring the
@@ -116,6 +122,17 @@ func (c *Collector) Diagnose(from, to int64) Verdict {
 			v.SharedSavedPages += e.N
 		}
 	}
+	for _, e := range c.heals {
+		if e.At < from || e.At > to {
+			continue
+		}
+		switch {
+		case e.Kind == KindPromote:
+			v.Promotions++
+		case e.Kind == KindRebuild && e.Class == "done":
+			v.Rebuilds++
+		}
+	}
 	return v
 }
 
@@ -159,6 +176,9 @@ func (v Verdict) String() string {
 	if v.SharedAttaches > 0 || v.SharedSavedPages > 0 {
 		s += fmt.Sprintf("; shared scans: %d attaches saved %d page reads",
 			v.SharedAttaches, v.SharedSavedPages)
+	}
+	if v.Promotions > 0 || v.Rebuilds > 0 {
+		s += fmt.Sprintf("; healing: %d promotions, %d rebuilds", v.Promotions, v.Rebuilds)
 	}
 	return s
 }

@@ -105,6 +105,55 @@ func (st *Store) FileByID(id int) (*File, bool) {
 	return f, ok
 }
 
+// AdoptFile materializes a working copy of a file image on st under a FRESH
+// file id, sharing the image's pages copy-on-write. Unlike RestoreStore —
+// which rebuilds a whole store and must preserve ids — adoption grafts one
+// file into a store that already has its own id space (re-replication
+// streams a surviving fragment's image to a live node), so reusing the
+// source id could collide with an unrelated file there.
+func (st *Store) AdoptFile(img *FileImage) *File {
+	st.nextID++
+	f := &File{
+		st:        st,
+		ID:        st.nextID,
+		Name:      img.name,
+		nTuples:   img.nTuples,
+		Sorted:    img.sorted,
+		SortKey:   img.sortKey,
+		Unordered: img.unordered,
+		SlotBytes: img.slotBytes,
+	}
+	f.pages = make([]*Page, len(img.pages))
+	copy(f.pages, img.pages)
+	st.files[f.ID] = f
+	return f
+}
+
+// AdoptBTree materializes a working copy of an index image over the adopted
+// file f on st, under a fresh index file id (same collision argument as
+// AdoptFile), sharing the node graph copy-on-write.
+func (st *Store) AdoptBTree(f *File, img *BTreeImage) *BTree {
+	st.nextID++
+	return &BTree{
+		st:        st,
+		file:      f,
+		Attr:      img.attr,
+		Kind:      img.kind,
+		idxFileID: st.nextID,
+		fanout:    img.fanout,
+		root:      img.root,
+		firstLeaf: img.firstLeaf,
+		nextPage:  img.nextPage,
+		height:    img.height,
+		entries:   img.entries,
+		shared:    true,
+	}
+}
+
+// Pages returns the number of pages in the imaged file (rebuild pacing needs
+// the copy length without materializing the file).
+func (img *FileImage) Pages() int { return len(img.pages) }
+
 // BTreeImage is the frozen state of one B+-tree index: the node graph is
 // shared, not copied, and every tree holding it (source or restored) clones
 // it on first mutation.
