@@ -4,8 +4,8 @@
 // Usage:
 //
 //	gammabench [-quick] [-list] [-parallel N] [-json] [-kernel serial|partitioned]
-//	           [-kernel-workers N] [-campaign-seed S] [-campaign-faults N]
-//	           [-experiment a,b] [experiment ...]
+//	           [-kernel-workers N] [-lookahead US] [-campaign-seed S]
+//	           [-campaign-faults N] [-experiment a,b] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs; experiments
 // can be named positionally or as a comma-separated -experiment list (both
@@ -20,15 +20,22 @@
 // machine-readable report (wall-clock and simulated-events/sec per
 // experiment). -cpuprofile and -memprofile write pprof profiles.
 //
-// -kernel selects the simulation kernel: "serial" (the default single-heap
-// event loop) or "partitioned" (one shard per simulated node; the Gamma
-// model's partition declares zero lookahead, so it executes serialized in
-// merged global order and its tables, JSON, and traces are byte-identical
-// to -kernel serial — the serial kernel remains the oracle).
+// -kernel selects the simulation kernel: "serial" (the default) or
+// "partitioned" (one shard per simulated node). Experiments whose Gamma
+// workload is safe for windowed execution derive a positive conservative
+// lookahead from the network's delivery-latency floor (Net.MinLatency), so
+// their partitioned simulations run truly parallel windows; the serial
+// kernel runs the identical partition on one worker and stays the
+// byte-exact oracle (same tables, JSON, and traces). Experiments that
+// inject faults, share machines across concurrent queries, or build
+// Teradata machines always run serialized at lookahead 0.
 // -kernel-workers bounds the goroutines a partitioned simulation may use
-// for conservative windows; it only takes effect for models that declare
-// positive lookahead. The GAMMA_KERNEL and GAMMA_KERNEL_WORKERS environment
-// variables provide the same knobs to the test suite.
+// for conservative windows. -lookahead overrides the derived lookahead in
+// simulated microseconds: 0 forces fully serialized scheduling, a positive
+// value is capped at the latency floor (the largest provably safe value),
+// and -1 (the default) derives it. The GAMMA_KERNEL, GAMMA_KERNEL_WORKERS,
+// and GAMMA_LOOKAHEAD environment variables provide the same knobs to the
+// test suite.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"gamma/internal/bench"
+	"gamma/internal/sim"
 )
 
 // jsonExperiment is one experiment's entry in the -json report.
@@ -67,7 +75,10 @@ type jsonExperiment struct {
 type jsonReport struct {
 	Suite            string           `json:"suite"`  // "full" or "quick"
 	Kernel           string           `json:"kernel"` // "serial" or "partitioned"
-	Workers          int              `json:"workers"`
+	// LookaheadUS echoes the -lookahead flag: -1 = derived from the
+	// network latency floor, 0 = forced serialized, else explicit µs.
+	LookaheadUS int `json:"lookahead_us"`
+	Workers     int `json:"workers"`
 	GoMaxProcs       int              `json:"gomaxprocs"`
 	TotalWallSeconds float64          `json:"total_wall_seconds"`
 	ImageCacheHits   int64            `json:"image_cache_hits"`
@@ -85,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit a machine-readable report instead of tables")
 	kernel := fs.String("kernel", "", "simulation `kernel`: serial (default) or partitioned; partitioned shards each machine one-per-node with the serial order as oracle")
 	kernelWorkers := fs.Int("kernel-workers", 0, "worker goroutines per partitioned simulation's conservative windows (models with positive lookahead only)")
+	lookahead := fs.Int("lookahead", -1, "conservative-window lookahead in simulated `microseconds` for windowed experiments: -1 derives it from the network latency floor, 0 forces serialized scheduling, positive values are capped at the floor")
 	experiment := fs.String("experiment", "", "comma-separated experiment `ids` to run (adds to positional ids)")
 	campaignSeed := fs.Uint64("campaign-seed", 0, "`seed` for the availability experiment's fault campaign (0 = default)")
 	campaignFaults := fs.Int("campaign-faults", 0, "faults per availability campaign (0 = default)")
@@ -126,6 +138,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts.KernelWorkers = *kernelWorkers
+	switch {
+	case *lookahead < -1:
+		fmt.Fprintf(stderr, "gammabench: -lookahead must be -1 (derive), 0 (serialize), or a positive microsecond count (got %d)\n", *lookahead)
+		fs.Usage()
+		return 2
+	case *lookahead == 0:
+		opts.Lookahead = -1 // force serialized scheduling
+	case *lookahead > 0:
+		opts.Lookahead = sim.Dur(*lookahead)
+	}
 	if *campaignFaults < 0 {
 		fmt.Fprintf(stderr, "gammabench: -campaign-faults must be >= 0 (got %d)\n", *campaignFaults)
 		fs.Usage()
@@ -188,6 +210,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep := jsonReport{
 			Suite:            suite,
 			Kernel:           kernelName,
+			LookaheadUS:      *lookahead,
 			Workers:          *parallel,
 			GoMaxProcs:       runtime.GOMAXPROCS(0),
 			TotalWallSeconds: total.Seconds(),

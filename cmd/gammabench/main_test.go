@@ -137,6 +137,58 @@ func TestRunRejectsBadParallel(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadLookahead(t *testing.T) {
+	null := devNull(t)
+	for _, v := range []string{"-2", "-100", "x"} {
+		if code := run([]string{"-lookahead", v, "table1"}, null, null); code != 2 {
+			t.Errorf("-lookahead %s: exit code %d, want 2", v, code)
+		}
+	}
+}
+
+// TestLookaheadInvariance: at positive lookahead the rendered tables are
+// byte-identical across the serial kernel (the oracle: same partition, one
+// worker), the partitioned kernel at the derived floor, and the partitioned
+// kernel at an explicit smaller window. -lookahead 0 (the pre-windowing
+// serialized model) must also run cleanly, and the -json report echoes the
+// flag.
+func TestLookaheadInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the same experiments four times")
+	}
+	null := devNull(t)
+	var oracle, derived, explicit bytes.Buffer
+	if code := run([]string{"-quick", "-parallel", "1", "table3", "bitvector"}, &oracle, null); code != 0 {
+		t.Fatalf("serial kernel: exit code %d", code)
+	}
+	if code := run([]string{"-quick", "-parallel", "1", "-kernel", "partitioned", "table3", "bitvector"}, &derived, null); code != 0 {
+		t.Fatalf("derived lookahead: exit code %d", code)
+	}
+	if code := run([]string{"-quick", "-parallel", "1", "-kernel", "partitioned", "-lookahead", "100", "table3", "bitvector"}, &explicit, null); code != 0 {
+		t.Fatalf("-lookahead 100: exit code %d", code)
+	}
+	if !bytes.Equal(oracle.Bytes(), derived.Bytes()) {
+		t.Error("serial-kernel and partitioned tables differ at derived lookahead")
+	}
+	if !bytes.Equal(derived.Bytes(), explicit.Bytes()) {
+		t.Error("tables differ between derived and explicit positive lookahead")
+	}
+	if code := run([]string{"-quick", "-parallel", "1", "-lookahead", "0", "-experiment", "bitvector"}, null, null); code != 0 {
+		t.Fatalf("-lookahead 0: exit code %d", code)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-quick", "-json", "-parallel", "1", "-lookahead", "100", "-experiment", "table3"}, &out, null); code != 0 {
+		t.Fatalf("-json with -lookahead: exit code %d", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if rep.LookaheadUS != 100 {
+		t.Errorf("lookahead_us = %d, want 100", rep.LookaheadUS)
+	}
+}
+
 func TestRunRejectsUnwritableProfilePaths(t *testing.T) {
 	null := devNull(t)
 	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.prof")

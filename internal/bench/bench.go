@@ -49,10 +49,26 @@ type Options struct {
 	// GAMMA_KERNEL environment variable overrides an empty Kernel.
 	Kernel string
 	// KernelWorkers is the worker-goroutine budget a partitioned
-	// simulation may use for conservative windows (effective only with
-	// positive lookahead, i.e. not for the Gamma model; the kernel-level
-	// scale experiment uses it). GAMMA_KERNEL_WORKERS overrides zero.
+	// simulation may use for conservative windows (effective with positive
+	// lookahead). GAMMA_KERNEL_WORKERS overrides zero.
 	KernelWorkers int
+	// Lookahead controls the conservative-window lookahead of windowed
+	// experiments: 0 derives it from the network's delivery-latency floor
+	// (Net.MinLatency, the largest value the model can prove safe), a
+	// positive value is used as-is but capped at that floor, and a negative
+	// value forces lookahead 0 (fully serialized scheduling, the
+	// pre-windowing kernel behavior). The GAMMA_LOOKAHEAD environment
+	// variable overrides zero: unset/empty = derive, "0" or negative =
+	// force serialized, positive = explicit µs. Only experiments that have
+	// opted into windowed execution are affected.
+	Lookahead sim.Dur
+
+	// windowedOK marks the experiment as safe for positive-lookahead
+	// windowed execution: its Gamma workload routes every cross-node
+	// interaction through the nose latency floor. Experiments that inject
+	// faults, share machines across concurrent queries, or build Teradata
+	// machines leave it false and always run at lookahead 0.
+	windowedOK bool
 
 	// CampaignSeed seeds the availability experiment's generated fault
 	// campaign (0 selects the default seed) and CampaignFaults sets how
@@ -147,17 +163,83 @@ func (o Options) kernelWorkers() int {
 	return 1
 }
 
+// windowed marks the experiment's machines as safe for positive-lookahead
+// windows. Experiments opt in at the top of their Run functions.
+func (o Options) windowed() Options {
+	o.windowedOK = true
+	return o
+}
+
+// serialized is the inverse: it pins the machines built from the returned
+// options at lookahead 0 (Teradata models, fault injection, shared-machine
+// concurrency).
+func (o Options) serialized() Options {
+	o.windowedOK = false
+	return o
+}
+
+// lookaheadSetting resolves the raw lookahead knob: the explicit Options
+// value, then GAMMA_LOOKAHEAD, then 0 (= derive).
+func (o Options) lookaheadSetting() sim.Dur {
+	if o.Lookahead != 0 {
+		return o.Lookahead
+	}
+	if v := os.Getenv("GAMMA_LOOKAHEAD"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			if n <= 0 {
+				return -1
+			}
+			return sim.Dur(n)
+		}
+	}
+	return 0
+}
+
+// resolveLookahead returns the kernel lookahead this experiment's machines
+// run at: 0 unless the experiment opted into windowed execution, otherwise
+// the configured lookahead clamped to (0, Net.MinLatency]. The latency
+// floor is the largest provably safe value — every remote delivery in the
+// nose model arrives at least MinLatency after it was sent — and also the
+// default.
+func (o Options) resolveLookahead() sim.Dur {
+	if !o.windowedOK {
+		return 0
+	}
+	floor := o.params().Net.MinLatency
+	if floor <= 0 {
+		return 0
+	}
+	la := o.lookaheadSetting()
+	switch {
+	case la < 0:
+		return 0
+	case la == 0 || la > floor:
+		return floor
+	default:
+		return la
+	}
+}
+
 // newSim builds a simulator wired to the experiment's event counter, so the
 // suite runner can report simulated events per second. With the
-// "partitioned" kernel selected the simulation is partitioned at lookahead
-// 0 before the machine is built, so nose.AddNode homes every node on its
-// own shard.
+// "partitioned" kernel selected the simulation is partitioned before the
+// machine is built, so nose.AddNode homes every node on its own shard; the
+// lookahead is resolveLookahead's (positive only for experiments that opted
+// into windowed execution). The "serial" kernel stays the oracle: for a
+// windowed experiment it runs the identical partitioned simulation with one
+// worker — same event-order keys, byte-identical traces — and for everything
+// else the plain single-heap kernel.
 func (o Options) newSim() *sim.Sim {
 	s := sim.New()
+	la := o.resolveLookahead()
 	switch k := o.kernel(); k {
 	case "serial":
+		if la > 0 {
+			s.Partition(la)
+			s.SetWorkers(1)
+		}
 	case "partitioned":
-		s.Partition(0)
+		s.Partition(la)
 		s.SetWorkers(o.kernelWorkers())
 	default:
 		panic(fmt.Sprintf("bench: unknown kernel %q (want serial or partitioned)", k))
@@ -241,6 +323,16 @@ var registry []Experiment
 
 func register(id, title string, run func(o Options) *Table) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// registerWindowed registers an experiment whose Gamma machines are safe to
+// run in positive-lookahead parallel windows: single-query-at-a-time
+// workloads with no fault injection, where every cross-node interaction
+// goes through the nose latency floor. The wrapper opts the experiment's
+// options in; machines that must stay serialized inside it (Teradata
+// references) opt back out individually.
+func registerWindowed(id, title string, run func(o Options) *Table) {
+	register(id, title, func(o Options) *Table { return run(o.windowed()) })
 }
 
 // Experiments lists all registered experiments in a stable order.

@@ -2,16 +2,21 @@ package bench
 
 // Kernel-equivalence acceptance tests: every experiment must produce
 // byte-identical tables, JSON results, and trace streams whichever kernel
-// the simulation runs on — the single-heap serial kernel or the partitioned
-// kernel at any worker count. The Gamma model partitions at lookahead 0
-// (the ring interacts across nodes at the same instant), so the partitioned
-// kernel serializes it in merged global order; these tests pin that the
-// merge is exactly the serial order, byte for byte. CI runs this file under
-// -race across a GOMAXPROCS × workers matrix.
+// the simulation runs on — the serial oracle or the partitioned kernel at
+// any worker count. Windowed experiments derive a positive lookahead from
+// the network's delivery-latency floor (Net.MinLatency) and run truly
+// parallel conservative windows; the serial oracle is the same partition on
+// one worker, so the dual-ord scheme makes the schedules identical and
+// these tests pin that identity byte for byte. Serialized experiments
+// (fault injection, shared machines, Teradata) still run at lookahead 0,
+// where the merged global order is provably the single-heap order. CI runs
+// this file under -race across a GOMAXPROCS × workers matrix.
 
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"strings"
 	"testing"
 
 	"gamma/internal/config"
@@ -38,7 +43,11 @@ var kernelVariants = []struct {
 // parts of the gammabench -json report: wall-clock fields excluded).
 func suiteArtifacts(t *testing.T, kernel string, workers int) (tables, jsonDoc []byte) {
 	t.Helper()
-	ids := []string{"table1", "fig1", "scaleup", "degraded", "multiuser"}
+	// Windowed experiments (table1, fig1, fig9, scaleup, netgen — fig9
+	// exercises joins inside parallel windows, netgen the batched exchange
+	// of the fast-network generations) plus serialized ones (degraded,
+	// multiuser).
+	ids := []string{"table1", "fig1", "fig9", "scaleup", "netgen", "degraded", "multiuser"}
 	var exps []Experiment
 	for _, id := range ids {
 		e, ok := Lookup(id)
@@ -89,19 +98,25 @@ func TestKernelEquivalenceSuite(t *testing.T) {
 	}
 }
 
-// tracedWorkload builds a small traced Gamma machine on the given kernel,
-// runs a heap selection and an indexed selection, and returns the full
-// trace stream bytes.
-func tracedWorkload(t *testing.T, kernel string, workers int) []byte {
+// tracedWorkload builds a small traced Gamma machine on the given kernel
+// at the given lookahead, runs a heap selection and an indexed selection,
+// and returns the full trace stream bytes.
+func tracedWorkload(t *testing.T, kernel string, workers int, la sim.Dur) []byte {
 	t.Helper()
 	prm := config.Default()
 	var s *sim.Sim
 	switch kernel {
 	case "serial":
 		s = sim.New()
+		if la > 0 {
+			// The serial oracle for a windowed run: same partition, same
+			// ord keys, one worker.
+			s.Partition(la)
+			s.SetWorkers(1)
+		}
 	case "partitioned":
 		s = sim.New()
-		s.Partition(0)
+		s.Partition(la)
 		s.SetWorkers(workers)
 	default:
 		t.Fatalf("unknown kernel %q", kernel)
@@ -131,16 +146,43 @@ func tracedWorkload(t *testing.T, kernel string, workers int) []byte {
 
 // TestKernelEquivalenceTraces: the full structured event stream of a traced
 // Gamma workload is byte-identical on every kernel variant — the headline
-// invariant of the partitioned kernel.
+// invariant of the partitioned kernel — both serialized (lookahead 0) and
+// inside truly parallel windows at the derived latency-floor lookahead.
 func TestKernelEquivalenceTraces(t *testing.T) {
-	ref := tracedWorkload(t, kernelVariants[0].kernel, kernelVariants[0].workers)
-	for _, v := range kernelVariants[1:] {
-		got := tracedWorkload(t, v.kernel, v.workers)
-		if !bytes.Equal(got, ref) {
-			t.Errorf("%s: trace stream differs from serial kernel (%d vs %d bytes)",
-				v.name, len(got), len(ref))
+	floor := config.Default().Net.MinLatency
+	if floor <= 0 {
+		t.Fatal("default params declare no latency floor")
+	}
+	for _, la := range []sim.Dur{0, floor} {
+		ref := tracedWorkload(t, kernelVariants[0].kernel, kernelVariants[0].workers, la)
+		for _, v := range kernelVariants[1:] {
+			got := tracedWorkload(t, v.kernel, v.workers, la)
+			if !bytes.Equal(got, ref) {
+				t.Errorf("%s at lookahead %v: trace stream differs from serial kernel (%d vs %d bytes)",
+					v.name, la, len(got), len(ref))
+			}
 		}
 	}
+}
+
+// TestLookaheadFloorIsTight: Net.MinLatency is the largest safe lookahead.
+// Running the Gamma model one microsecond above the floor must trip the
+// kernel's send-site violation panic — some remote delivery really does
+// arrive exactly MinLatency after it was sent — while the floor itself runs
+// clean (pinned by every windowed test in this file). This guards the whole
+// delivery path: a new remote interaction that forgets the floor turns into
+// a crash here, not a silent misordering.
+func TestLookaheadFloorIsTight(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic running above the latency floor")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "violates lookahead") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	tracedWorkload(t, "partitioned", 1, config.Default().Net.MinLatency+1)
 }
 
 // TestKernelKnobEnvOverride: GAMMA_KERNEL/GAMMA_KERNEL_WORKERS select the

@@ -54,6 +54,7 @@ type teraSetup struct {
 // the image cache — only two data points per suite use each configuration —
 // but its load time still counts as setup.
 func newTera(o Options, n int, seed uint64, extras ...relSpec) *teraSetup {
+	o = o.serialized() // the Teradata model predates the latency floor
 	defer o.addSetup(time.Now())
 	s := o.newSim()
 	prm := o.params()
@@ -72,7 +73,7 @@ func newTera(o Options, n int, seed uint64, extras ...relSpec) *teraSetup {
 }
 
 func init() {
-	register("table1", "Selection queries (Table 1)", runTable1)
+	registerWindowed("table1", "Selection queries (Table 1)", runTable1)
 }
 
 func runTable1(o Options) *Table {

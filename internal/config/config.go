@@ -75,6 +75,25 @@ type Net struct {
 	// InstrPerLocalMsg is the cost of a short-circuited (same node)
 	// message: the communications software bypasses the NIC entirely (§2).
 	InstrPerLocalMsg int
+	// MinLatency is the minimum end-to-end delivery time of any remote
+	// message — data, EOS, or control. No arrival event may land closer
+	// than MinLatency after its send, which is what lets the partitioned
+	// simulation kernel run node shards concurrently with lookahead
+	// windows of exactly this width. For the 1988 generation it is
+	// derived in Default() from the Unibus + ring service time of one
+	// full packet; later generations set the NIC's advertised wire
+	// latency directly.
+	MinLatency sim.Dur
+	// BatchPackets is how many packets' worth of tuples an exchange
+	// producer coalesces per destination before flushing (the batched
+	// exchange of Rödiger et al.). 1 means flush every full packet —
+	// the original per-packet NOSE behavior.
+	BatchPackets int
+	// FlushAfter bounds how long a partially filled exchange buffer may
+	// sit before the next send forces it onto the wire; 0 disables
+	// time-triggered flushes (buffers still flush when full and at
+	// end-of-stream).
+	FlushAfter sim.Dur
 }
 
 // NICTime returns the Unibus transfer time for n bytes.
@@ -216,7 +235,7 @@ func (p *Params) IndexFanout() int { return p.PageBytes / p.IndexEntryBytes }
 // Default returns the calibrated standard configuration: the paper's Gamma
 // (VAX 11/750s, 4 KB pages) and Teradata (4x20x40) machines.
 func Default() Params {
-	return Params{
+	p := Params{
 		CPU: CPU{MIPS: 0.6},
 		Disk: Disk{
 			SeqPos:     15800 * sim.Microsecond,
@@ -232,6 +251,7 @@ func Default() Params {
 			Window:           4,
 			InstrPerPacket:   6000,
 			InstrPerLocalMsg: 300,
+			BatchPackets:     1,
 		},
 		Engine: Engine{
 			InstrPerTupleScan:   160,
@@ -275,4 +295,9 @@ func Default() Params {
 		SlotBytes:       240,
 		IndexEntryBytes: 16,
 	}
+	// The 1988 wire floor: a full packet must cross the sending Unibus and
+	// the token ring before any receiver can observe it. 2048*2.048 + 2*102
+	// = 4300 us — this is also the kernel lookahead the Gamma model derives.
+	p.Net.MinLatency = p.Net.NICTime(p.Net.PacketBytes) + p.Net.RingTime(p.Net.PacketBytes)
+	return p
 }

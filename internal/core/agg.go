@@ -158,7 +158,7 @@ func (m *Machine) runScalarAgg(p *sim.Proc, ib *inbox, schedPort *nose.Port, q A
 	m.initOp(p, combiner)
 	comboPort := combiner.NewPort("agg-combine")
 	nSites := len(frags)
-	m.spawnOn(combiner, fmt.Sprintf("agg-combine@%d", combiner.ID), func(cp *sim.Proc) {
+	m.spawnOn(p, combiner, fmt.Sprintf("agg-combine@%d", combiner.ID), func(cp *sim.Proc) {
 		total := &aggState{}
 		seen := 0
 		for i := 0; i < nSites; i++ {
@@ -173,7 +173,7 @@ func (m *Machine) runScalarAgg(p *sim.Proc, ib *inbox, schedPort *nose.Port, q A
 	for si, frag := range frags {
 		m.initOp(p, frag.Node)
 		fr, site := frag, si
-		m.spawnOn(fr.Node, fmt.Sprintf("agg-scan@%d", fr.Node.ID), func(sp *sim.Proc) {
+		m.spawnOn(p, fr.Node, fmt.Sprintf("agg-scan@%d", fr.Node.ID), func(sp *sim.Proc) {
 			st := &aggState{}
 			seen := scanFold(sp, m, fr, scan, func(t rel.Tuple) { st.add(int64(t.Get(q.Attr))) })
 			conn := fr.Node.Dial(comboPort)
@@ -199,7 +199,7 @@ func (m *Machine) runGroupedAgg(p *sim.Proc, ib *inbox, schedPort *nose.Port, q 
 	for ai, nd := range aggNodes {
 		m.initOp(p, nd)
 		node, port := nd, ports[ai]
-		m.spawnOn(nd, fmt.Sprintf("agg@%d", nd.ID), func(ap *sim.Proc) {
+		m.spawnOn(p, nd, fmt.Sprintf("agg@%d", nd.ID), func(ap *sim.Proc) {
 			groups := map[int32]*aggState{}
 			seen := 0
 			recvStream(ap, port, streamStore, nSites, func(ts []rel.Tuple) {
@@ -220,7 +220,7 @@ func (m *Machine) runGroupedAgg(p *sim.Proc, ib *inbox, schedPort *nose.Port, q 
 	}
 	for si, frag := range frags {
 		m.initOp(p, frag.Node)
-		spawnSelect(m, "agg-select", si, frag, scan.Pred, scan.Path, func() selectOutput {
+		spawnSelect(m, p, "agg-select", si, frag, scan.Pred, scan.Path, func() selectOutput {
 			return selectOutput{stream: streamStore, ports: ports, route: HashRoute(groupAttr, LoadSeed, nA)}
 		}, schedPort)
 	}

@@ -54,6 +54,7 @@ func (m *Machine) CrashDisk(site int) {
 	if nd.Failed() {
 		return
 	}
+	m.siteEpochs[site]++
 	m.Sim.Emit(trace.Event{
 		At: int64(m.Sim.Now()), Kind: trace.KindFault, Class: "node-crash",
 		Node: nd.ID, Site: site,
@@ -223,8 +224,29 @@ func reportDriveLoss(m *Machine, p *sim.Proc, nd *nose.Node, opID string, sched 
 // spawnOn starts an operator process bound to a node: a crash of that node
 // kills it, and a process spawned for an already-failed node never runs.
 // All operator processes go through here so CrashDisk can find them.
-func (m *Machine) spawnOn(nd *nose.Node, name string, fn func(p *sim.Proc)) {
+//
+// from is the process initiating the operator (the scheduler, usually); nil
+// means a serialized context outside any process. On the serialized kernel
+// (lookahead 0) the spawn is immediate and the process is registered so
+// CrashDisk can kill it. Under a positive-lookahead kernel a cross-shard
+// spawn is itself a network message: it is routed to the operator's shard
+// and the process starts one latency floor later, exactly like the
+// scheduler-initiation control messages it models (§6.2.3). Fault injection
+// is a lookahead-0 feature, so the kill registry is skipped on that path.
+func (m *Machine) spawnOn(from *sim.Proc, nd *nose.Node, name string, fn func(p *sim.Proc)) {
 	if nd.Failed() {
+		return
+	}
+	if m.Sim.Lookahead() > 0 {
+		if from == nil || from.Shard() == nd.Part {
+			nd.Part.Spawn(name, fn)
+			return
+		}
+		from.Shard().Send(nd.Part, from.Now()+m.Prm.Net.MinLatency, func() {
+			if !nd.Failed() {
+				nd.Part.Spawn(name, fn)
+			}
+		})
 		return
 	}
 	var pr *sim.Proc

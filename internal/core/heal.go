@@ -163,7 +163,7 @@ func (h *Healer) Stats() HealStats {
 func (h *Healer) spawnHeartbeat(site int) {
 	m := h.m
 	nd := m.Disk[site]
-	m.spawnOn(nd, fmt.Sprintf("heartbeat@%d", nd.ID), func(p *sim.Proc) {
+	m.spawnOn(nil, nd, fmt.Sprintf("heartbeat@%d", nd.ID), func(p *sim.Proc) {
 		for p.Now() < h.cfg.Horizon {
 			nose.SendCtl(p, nd, h.port, heartbeat{site: site, driveOK: !nd.Drive.Failed()})
 			p.Sleep(h.cfg.Interval)
@@ -335,7 +335,7 @@ func (h *Healer) startRebuild(p *sim.Proc, r *Relation, i int) {
 	newFile := st.AdoptFile(fimg)
 	pages := fimg.Pages()
 	pageBytes := m.Prm.PageBytes
-	m.spawnOn(src.Node, fmt.Sprintf("rebuild:%s", key), func(cp *sim.Proc) {
+	m.spawnOn(p, src.Node, fmt.Sprintf("rebuild:%s", key), func(cp *sim.Proc) {
 		done := false
 		defer func() {
 			// Any exit before completion — source crash (kill), source or

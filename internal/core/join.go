@@ -137,6 +137,7 @@ type joinSpec struct {
 	node       *nose.Node
 	port       *nose.Port
 	sched      *nose.Port
+	from       *sim.Proc // initiating process (the scheduler)
 	buildAttr  rel.Attr
 	probeAttr  rel.Attr
 	nSites     int // number of join sites (round-stream producers)
@@ -159,14 +160,14 @@ type joinSpec struct {
 // hash-partitioned join of [DEWI85] (§6).
 func spawnJoin(spec joinSpec) {
 	m := spec.m
-	m.spawnOn(spec.node, fmt.Sprintf("%s@%d", spec.opID, spec.node.ID), func(p *sim.Proc) {
+	m.spawnOn(spec.from, spec.node, fmt.Sprintf("%s@%d", spec.opID, spec.node.ID), func(p *sim.Proc) {
 		phase := func(kind trace.Kind, label string, n int) {
 			if !m.Sim.Tracing() {
 				return
 			}
-			m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: kind, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: label, N: n})
+			p.Emit(trace.Event{At: int64(p.Now()), Kind: kind, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: label, N: n})
 		}
-		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: "join"})
+		p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: spec.opID, Node: spec.node.ID, Site: spec.site, Class: "join"})
 		jt := newJoinTable(spec)
 		defer func() {
 			switch r := recover().(type) {
@@ -221,7 +222,7 @@ func spawnJoin(spec joinSpec) {
 			}
 			switch jc.kind {
 			case ctlFinish:
-				m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: spec.opID, Node: spec.node.ID, Site: spec.site})
+				p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: spec.opID, Node: spec.node.ID, Site: spec.site})
 				spec.port.Close()
 				return
 			case ctlAbort:

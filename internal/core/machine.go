@@ -75,10 +75,11 @@ type Machine struct {
 	rec      *Recovery
 
 	// Fault/failover state (see fault-tolerance methods in fault.go).
-	mirrored bool
-	ftDetect sim.Dur             // operator-silence detection timeout; 0 = failover off
-	procs    map[int][]*sim.Proc // live operator processes per node
-	healer   *Healer             // non-nil after EnableHealing (heal.go)
+	mirrored   bool
+	ftDetect   sim.Dur             // operator-silence detection timeout; 0 = failover off
+	procs      map[int][]*sim.Proc // live operator processes per node
+	siteEpochs map[int]int         // per-disk-site crash count (bumped by CrashDisk)
+	healer     *Healer             // non-nil after EnableHealing (heal.go)
 
 	// Trace is the structured event collector, non-nil after EnableTrace.
 	Trace *trace.Collector
@@ -95,12 +96,13 @@ func NewMachine(s *sim.Sim, prm *config.Params, nDisk, nDiskless int) *Machine {
 		panic("core: need at least one disk processor")
 	}
 	m := &Machine{
-		Sim:     s,
-		Prm:     prm,
-		Net:     nose.NewNetwork(s, prm.Net, prm.CPU),
-		stores:  make(map[int]*wiss.Store),
-		catalog: make(map[string]*Relation),
-		procs:   make(map[int][]*sim.Proc),
+		Sim:        s,
+		Prm:        prm,
+		Net:        nose.NewNetwork(s, prm.Net, prm.CPU),
+		stores:     make(map[int]*wiss.Store),
+		catalog:    make(map[string]*Relation),
+		procs:      make(map[int][]*sim.Proc),
+		siteEpochs: make(map[int]int),
 	}
 	m.Host = m.Net.AddNode(false, prm.Disk)
 	m.Sched = m.Net.AddNode(false, prm.Disk)
@@ -110,8 +112,9 @@ func NewMachine(s *sim.Sim, prm *config.Params, nDisk, nDiskless int) *Machine {
 		m.stores[nd.ID] = wiss.NewStore(nd, prm)
 	}
 	for i := 0; i < nDiskless; i++ {
-		nd := m.Net.AddNode(false, prm.Disk)
-		nd.SpoolNode = m.Disk[i%nDisk]
+		// Diskless processors are homed on their spool node's shard so
+		// join-overflow spooling stays shard-local inside parallel windows.
+		nd := m.Net.AddNodeOn(m.Disk[i%nDisk])
 		m.Diskless = append(m.Diskless, nd)
 	}
 	return m

@@ -92,10 +92,16 @@ type Result struct {
 
 // initOp charges the scheduler the §6.2.3 cost of initiating one operator on
 // one node: MsgsPerOperatorInit control messages of CtlMsg each, serialized
-// on the scheduler's CPU.
+// on the scheduler's CPU. The cost is attributed in the trace as a control-
+// message event so Diagnose's "ctl" class can surface scheduler-bound
+// queries (§6.2.3's short-query regime).
 func (m *Machine) initOp(p *sim.Proc, node *nose.Node) {
 	n := m.Prm.Engine.MsgsPerOperatorInit
-	m.Sched.CPU.Use(p, sim.Dur(n)*m.Prm.Net.CtlMsg)
+	cost := sim.Dur(n) * m.Prm.Net.CtlMsg
+	m.Sched.CPU.Use(p, cost)
+	if m.Sim.Tracing() {
+		p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindCtlMsg, From: m.Sched.ID, To: node.ID, Dur: int64(cost)})
+	}
 }
 
 // JoinNodes returns the processors that execute join operators in a mode,
@@ -381,7 +387,16 @@ type queryFT struct {
 	m       *Machine
 	detect  sim.Dur
 	attempt int
-	snap    []bool
+	snap    []siteSnap
+}
+
+// siteSnap is one disk site's health at attempt planning time. epoch is the
+// site's crash count: a site that crashed and rejoined between two detection
+// sweeps still shows a changed epoch, so operators it killed are not waited
+// on forever.
+type siteSnap struct {
+	up    bool
+	epoch int
 }
 
 // newQueryFT returns failover state for one query, or nil when failover is
@@ -396,16 +411,18 @@ func (m *Machine) newQueryFT() *queryFT {
 // resnap records disk-site health at the start of an attempt.
 func (ft *queryFT) resnap() {
 	ft.snap = ft.snap[:0]
-	for _, nd := range ft.m.Disk {
-		ft.snap = append(ft.snap, ft.m.driveUp(nd))
+	for i, nd := range ft.m.Disk {
+		ft.snap = append(ft.snap, siteSnap{up: ft.m.driveUp(nd), epoch: ft.m.siteEpochs[i]})
 	}
 }
 
-// newlyFailed lists disk sites lost since the attempt's snapshot.
+// newlyFailed lists disk sites lost since the attempt's snapshot: sites whose
+// drive went down, and sites that crashed at all since planning — even if
+// they already rejoined — because a crash killed any operator running there.
 func (ft *queryFT) newlyFailed() []int {
 	var out []int
 	for i, nd := range ft.m.Disk {
-		if ft.snap[i] && !ft.m.driveUp(nd) {
+		if ft.snap[i].up && (!ft.m.driveUp(nd) || ft.m.siteEpochs[i] != ft.snap[i].epoch) {
 			out = append(out, i)
 		}
 	}
@@ -436,8 +453,8 @@ func (ib *inbox) beginAttempt(m *Machine, res *Result) error {
 	}
 	ib.ft.resnap()
 	if ib.ft.attempt > 0 {
-		m.Sim.Emit(trace.Event{
-			At: int64(m.Sim.Now()), Kind: trace.KindFailover, Class: "retry",
+		ib.p.Emit(trace.Event{
+			At: int64(ib.p.Now()), Kind: trace.KindFailover, Class: "retry",
 			Query: res.Query, N: ib.ft.attempt,
 		})
 	}
@@ -506,7 +523,7 @@ func (m *Machine) launchQueryDone(res *Result, body func(p *sim.Proc, ib *inbox,
 		nose.SendCtl(p, m.Host, schedPort, "query")
 		hostPort.Recv(p)
 		res.Elapsed = p.Now() - start
-		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindQueryDone, Query: res.Query})
+		p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindQueryDone, Query: res.Query})
 		if onDone != nil {
 			onDone()
 		}
@@ -557,7 +574,7 @@ func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res 
 	ss := &storeSet{op: "store" + ib.tag()}
 	if toHost {
 		colPort := m.Host.NewPort(ss.op)
-		spawnCollector(m, ss.op, m.Host, colPort, schedPort, nil)
+		spawnCollector(m, p, ss.op, m.Host, colPort, schedPort, nil)
 		ss.ports = []*nose.Port{colPort}
 		return ss, nil
 	}
@@ -569,7 +586,7 @@ func (m *Machine) setupStores(p *sim.Proc, ib *inbox, schedPort *nose.Port, res 
 	for i, frag := range resRel.Frags {
 		pt := frag.Node.NewPort(fmt.Sprintf("%s%d", ss.op, i))
 		m.initOp(p, frag.Node)
-		spawnStore(m, ss.op, i, frag, pt, schedPort)
+		spawnStore(m, p, ss.op, i, frag, pt, schedPort)
 		ss.ports = append(ss.ports, pt)
 	}
 	return ss, nil
@@ -598,8 +615,8 @@ func (ss *storeSet) close(m *Machine, p *sim.Proc, ib *inbox, expectEOS int) (in
 // is dropped, the paper's §4 cheap recovery path for "retrieve into". The
 // next attempt then replans against backup fragments under a fresh tag.
 func (m *Machine) abortAttempt(p *sim.Proc, ib *inbox, res *Result, stages []*stage, ss *storeSet) {
-	m.Sim.Emit(trace.Event{
-		At: int64(m.Sim.Now()), Kind: trace.KindFailover, Class: "abort",
+	p.Emit(trace.Event{
+		At: int64(p.Now()), Kind: trace.KindFailover, Class: "abort",
 		Query: res.Query, N: ib.ft.attempt,
 	})
 	for _, st := range stages {
@@ -684,7 +701,7 @@ func (m *Machine) trySelect(p *sim.Proc, ib *inbox, schedPort *nose.Port, q Sele
 	selOp := "select" + ib.tag()
 	for si, frag := range frags {
 		m.initOp(p, frag.Node)
-		spawnSelect(m, selOp, si, frag, scan.Pred, scan.Path, func() selectOutput {
+		spawnSelect(m, p, selOp, si, frag, scan.Pred, scan.Path, func() selectOutput {
 			return selectOutput{
 				stream: streamStore, ports: ss.ports, route: RRRoute(len(ss.ports)),
 				width: width, project: q.Project,
@@ -796,7 +813,7 @@ func (m *Machine) runRounds(p *sim.Proc, ib *inbox, schedPort *nose.Port, st *st
 				reader = info.owner
 			}
 			m.initOp(p, reader)
-			spawnSpoolScan(m, st.opID+".ovfbuild", si, info.build, info.owner, reader, func() selectOutput {
+			spawnSpoolScan(m, p, st.opID+".ovfbuild", si, info.build, info.owner, reader, func() selectOutput {
 				return selectOutput{stream: roundStream(l, false), ports: st.ports, route: HashRoute(st.buildAttr, roundSeed(l), nJ)}
 			}, schedPort)
 		}
@@ -818,7 +835,7 @@ func (m *Machine) runRounds(p *sim.Proc, ib *inbox, schedPort *nose.Port, st *st
 				reader = info.owner
 			}
 			m.initOp(p, reader)
-			spawnSpoolScan(m, st.opID+".ovfprobe", si, info.probe, info.owner, reader, func() selectOutput {
+			spawnSpoolScan(m, p, st.opID+".ovfprobe", si, info.probe, info.owner, reader, func() selectOutput {
 				return selectOutput{stream: roundStream(l, true), ports: st.ports, route: HashRoute(st.probeAttr, roundSeed(l), nJ)}
 			}, schedPort)
 		}
@@ -932,7 +949,7 @@ func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQu
 			for si, nd := range joinNodes {
 				m.initOp(p, nd)
 				spawnJoin(joinSpec{
-					m: m, opID: st2.opID, site: si, node: nd, port: st2.ports[si], sched: schedPort,
+					m: m, from: p, opID: st2.opID, site: si, node: nd, port: st2.ports[si], sched: schedPort,
 					buildAttr: q.Build2Attr, probeAttr: q.Probe2Attr,
 					nSites: nJ, nBuild: len(b2frags), nProbe: -1, memBytes: memPer,
 					outStream: streamStore, outPorts: ss.ports,
@@ -941,7 +958,7 @@ func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQu
 			}
 			for si, frag := range b2frags {
 				m.initOp(p, frag.Node)
-				spawnSelect(m, "sel-build2"+tag, si, frag, build2.Pred, build2.Path, func() selectOutput {
+				spawnSelect(m, p, "sel-build2"+tag, si, frag, build2.Pred, build2.Path, func() selectOutput {
 					return selectOutput{stream: streamBuild, ports: st2.ports, route: HashRoute(q.Build2Attr, LoadSeed, nJ)}
 				}, schedPort)
 			}
@@ -966,7 +983,7 @@ func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQu
 		for si, nd := range joinNodes {
 			m.initOp(p, nd)
 			spawnJoin(joinSpec{
-				m: m, opID: st1.opID, site: si, node: nd, port: st1.ports[si], sched: schedPort,
+				m: m, from: p, opID: st1.opID, site: si, node: nd, port: st1.ports[si], sched: schedPort,
 				buildAttr: q.BuildAttr, probeAttr: q.ProbeAttr,
 				nSites: nJ, nBuild: len(bfrags), nProbe: len(pfrags), memBytes: memPer,
 				outStream: outStream, outPorts: outPorts, mkOutRoute: mkOutRoute,
@@ -978,7 +995,7 @@ func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQu
 		// Build selections.
 		for si, frag := range bfrags {
 			m.initOp(p, frag.Node)
-			spawnSelect(m, "sel-build"+tag, si, frag, build.Pred, build.Path, func() selectOutput {
+			spawnSelect(m, p, "sel-build"+tag, si, frag, build.Pred, build.Path, func() selectOutput {
 				return selectOutput{stream: streamBuild, ports: st1.ports, route: HashRoute(q.BuildAttr, LoadSeed, nJ)}
 			}, schedPort)
 		}
@@ -1003,7 +1020,7 @@ func (m *Machine) tryJoin(p *sim.Proc, ib *inbox, schedPort *nose.Port, q JoinQu
 		for si, frag := range pfrags {
 			m.initOp(p, frag.Node)
 			fr := frag
-			spawnSelect(m, "sel-probe"+tag, si, fr, probe.Pred, probe.Path, func() selectOutput {
+			spawnSelect(m, p, "sel-probe"+tag, si, fr, probe.Pred, probe.Path, func() selectOutput {
 				out := selectOutput{stream: streamProbe, ports: st1.ports, route: HashRoute(q.ProbeAttr, LoadSeed, nJ)}
 				if haveFilters {
 					out.filters = filters

@@ -40,7 +40,7 @@ func (m *Machine) SnapshotUtil() UtilSnapshot {
 			s.dstat[nd.ID] = nd.Drive.Stats()
 		}
 	}
-	s.ring, _, _ = m.Net.Ring().Stats()
+	s.ring = m.Net.RingBusy()
 	return s
 }
 
@@ -98,8 +98,7 @@ func (m *Machine) WriteUtilization(w io.Writer, since UtilSnapshot) {
 			nic.Seconds(), util(nic),
 			driveCol, mix)
 	}
-	ringNow, _, _ := m.Net.Ring().Stats()
-	ring := ringNow - since.ring
+	ring := m.Net.RingBusy() - since.ring
 	fmt.Fprintf(w, "ring %-10s %8.3fs %s\n", "", ring.Seconds(), util(ring))
 }
 

@@ -212,5 +212,5 @@ func (h *scanHub) emit(p *sim.Proc, class string, c *sharedConsumer, page int) {
 	} else {
 		e.N = int(c.delivered - c.scanned)
 	}
-	h.m.Sim.Emit(e)
+	p.Emit(e)
 }

@@ -33,8 +33,8 @@ type storeDone struct {
 // receives result tuples, assigns record ids, and writes pages to the local
 // drive with write-behind (§2: "store operators at each disk site assume
 // responsibility for writing the result tuples to disk").
-func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port, sched *nose.Port) {
-	m.spawnOn(frag.Node, fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
+func spawnStore(m *Machine, from *sim.Proc, opID string, site int, frag *Fragment, in *nose.Port, sched *nose.Port) {
+	m.spawnOn(from, frag.Node, fmt.Sprintf("%s@%d", opID, frag.Node.ID), func(p *sim.Proc) {
 		defer func() {
 			r := recover()
 			if r == nil {
@@ -47,7 +47,7 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 			}
 			panic(r)
 		}()
-		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: frag.Node.ID, Site: site, Class: "store"})
+		p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: frag.Node.ID, Site: site, Class: "store"})
 		eng := m.Prm.Engine
 		ap := frag.File.NewAppender()
 		eos := 0
@@ -76,7 +76,7 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 		}
 		n := ap.Close(p)
 		m.logForce(p, frag.Node)
-		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: frag.Node.ID, Site: site, N: n})
+		p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: frag.Node.ID, Site: site, N: n})
 		nose.SendCtl(p, frag.Node, sched, storeDone{op: opID, site: site, stored: n})
 		in.Close()
 	})
@@ -86,9 +86,9 @@ func spawnStore(m *Machine, opID string, site int, frag *Fragment, in *nose.Port
 // that gathers result tuples into memory instead of storing them — used for
 // single-tuple selects and aggregate results returned to the user. It obeys
 // the same close protocol as a store operator.
-func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sched *nose.Port, sink func(n int)) {
-	m.spawnOn(node, fmt.Sprintf("%s@%d", opID, node.ID), func(p *sim.Proc) {
-		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: node.ID, Site: 0, Class: "collect"})
+func spawnCollector(m *Machine, from *sim.Proc, opID string, node *nose.Node, in *nose.Port, sched *nose.Port, sink func(n int)) {
+	m.spawnOn(from, node, fmt.Sprintf("%s@%d", opID, node.ID), func(p *sim.Proc) {
+		p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpStart, Op: opID, Node: node.ID, Site: 0, Class: "collect"})
 		eng := m.Prm.Engine
 		eos := 0
 		expect := -1
@@ -115,7 +115,7 @@ func spawnCollector(m *Machine, opID string, node *nose.Node, in *nose.Port, sch
 		if sink != nil {
 			sink(total)
 		}
-		m.Sim.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: node.ID, Site: 0, N: total})
+		p.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KindOpDone, Op: opID, Node: node.ID, Site: 0, N: total})
 		nose.SendCtl(p, node, sched, storeDone{op: opID, site: 0, stored: total})
 		in.Close()
 	})

@@ -70,8 +70,9 @@ func TestLossCostsTime(t *testing.T) {
 
 func TestNoLossByDefault(t *testing.T) {
 	_, n := testNet(t, 2)
+	nd := n.Nodes()[0]
 	for i := 0; i < 1000; i++ {
-		if n.dropNext() {
+		if nd.dropNext() {
 			t.Fatal("packet dropped with loss injection disabled")
 		}
 	}

@@ -7,13 +7,29 @@
 //   - The 80 Mbit/s Proteon ring itself is "never a bottleneck"; the 4 Mbit/s
 //     Unibus path from memory to the network interface is (§5.2.1). Each node
 //     therefore has a NIC resource capped at Unibus bandwidth, shared by
-//     inbound and outbound traffic.
+//     inbound and outbound traffic, while the ring contributes only transit
+//     latency (it is accounted, never contended).
 //   - Messages between processes on the same processor are short-circuited by
 //     the communications software (§2) and cost only a little CPU.
 //   - The sliding-window protocol bounds the packets a sender may have
 //     outstanding to one destination; a slow consumer therefore stalls its
 //     producers, which is how a saturated NIC pushes back on a disk scan
 //     (§5.2.1's explanation of the 10% selection speedup curve).
+//
+// Every remote delivery — data, end-of-stream, control, bulk transfer — is
+// floored at Net.MinLatency after its send instant and crosses shards via
+// Shard.Send, so on a partitioned simulation no node can affect another
+// sooner than MinLatency ahead. That bound is exactly the conservative
+// lookahead the parallel kernel windows run under: the Gamma model derives
+// its lookahead from MinLatency and its shards then execute concurrently.
+// Window credits return to the sender the same way (one MinLatency hop back),
+// and all activity counters are per-node, mutated only from the owning
+// node's shard.
+//
+// When Net.BatchPackets > 1 a single Send may carry several packets' worth
+// of tuples (the batched exchange of Rödiger et al.): it consumes one window
+// credit and one protocol-CPU charge per packet but crosses the simulation
+// as one event, collapsing the per-packet event storm on fast networks.
 package nose
 
 import (
@@ -53,7 +69,11 @@ type Message struct {
 	From    *Node
 	Kind    MsgKind
 	Payload any
-	// release returns the sender's window credit; set on remote sends and
+	// packets is how many wire packets the message occupied (batched
+	// exchange coalesces several); 0 means 1. Drives the receiver's
+	// protocol CPU charge and the number of window credits returned.
+	packets int
+	// release returns the sender's window credits; set on remote sends and
 	// invoked when the receiver consumes the message.
 	release func()
 }
@@ -71,43 +91,40 @@ type Network struct {
 	sim   *sim.Sim
 	cfg   config.Net
 	cpu   config.CPU
-	ring  *sim.Resource
 	nodes []*Node
-	stats Stats
 	// Fault injection: lossNum/lossDen packets are dropped in transit and
 	// recovered by the sliding-window protocol's timeout retransmission.
+	// The drop counters themselves live per sender node.
 	lossNum, lossDen int
-	lossCtr          int
-	retransmits      int64
 }
 
 // retransmitTimeout is the sliding-window protocol's retransmission timer.
 const retransmitTimeout = 50 * sim.Millisecond
 
-// InjectLoss makes every (den/num)-th data packet vanish in transit,
-// deterministically, exercising the NOSE protocol's reliability machinery
-// (§2: "reliable, datagram communication services using a multiple bit,
-// sliding window protocol"). num 0 disables loss.
+// InjectLoss makes every (den/num)-th data packet of each sender vanish in
+// transit, deterministically, exercising the NOSE protocol's reliability
+// machinery (§2: "reliable, datagram communication services using a multiple
+// bit, sliding window protocol"). num 0 disables loss.
 func (n *Network) InjectLoss(num, den int) {
 	n.lossNum, n.lossDen = num, den
-	n.lossCtr = 0
+	for _, nd := range n.nodes {
+		nd.lossCtr = 0
+	}
 }
 
-// Retransmits reports how many packets the protocol had to resend.
-func (n *Network) Retransmits() int64 { return n.retransmits }
-
-// dropNext deterministically decides whether the next packet is lost.
-func (n *Network) dropNext() bool {
-	if n.lossNum <= 0 || n.lossDen <= 0 {
-		return false
+// Retransmits reports how many packets the protocol had to resend, across
+// all nodes.
+func (n *Network) Retransmits() int64 {
+	var total int64
+	for _, nd := range n.nodes {
+		total += nd.retransmits
 	}
-	n.lossCtr++
-	return n.lossCtr%((n.lossDen+n.lossNum-1)/n.lossNum) == 0
+	return total
 }
 
 // NewNetwork creates an empty ring.
 func NewNetwork(s *sim.Sim, cfg config.Net, cpu config.CPU) *Network {
-	return &Network{sim: s, cfg: cfg, cpu: cpu, ring: s.NewResource("ring")}
+	return &Network{sim: s, cfg: cfg, cpu: cpu}
 }
 
 // Sim returns the simulation the network runs on.
@@ -116,14 +133,32 @@ func (n *Network) Sim() *sim.Sim { return n.sim }
 // Config returns the network cost parameters.
 func (n *Network) Config() config.Net { return n.cfg }
 
-// Stats returns a copy of the activity counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats sums the per-node activity counters.
+func (n *Network) Stats() Stats {
+	var s Stats
+	for _, nd := range n.nodes {
+		s.DataPackets += nd.stats.DataPackets
+		s.LocalMsgs += nd.stats.LocalMsgs
+		s.CtlMsgs += nd.stats.CtlMsgs
+		s.RingBytes += nd.stats.RingBytes
+	}
+	return s
+}
 
 // Nodes returns all attached nodes in attachment order.
 func (n *Network) Nodes() []*Node { return n.nodes }
 
-// Ring exposes the shared token-ring resource (for utilization reports).
-func (n *Network) Ring() *sim.Resource { return n.ring }
+// RingBusy sums the token-ring transit time charged across all nodes — the
+// ring's cumulative busy time for utilization reports. The ring is modeled
+// as pure latency (§5.2.1: "never a bottleneck"), so this is accounting,
+// not a contended resource.
+func (n *Network) RingBusy() sim.Dur {
+	var busy sim.Dur
+	for _, nd := range n.nodes {
+		busy += nd.ringBusy
+	}
+	return busy
+}
 
 // Node is one processor: a CPU, a network interface, and optionally a disk
 // drive (§2: 8 of Gamma's 17 processors have disks).
@@ -132,7 +167,8 @@ type Node struct {
 	net *Network
 	// Part is the simulation shard the node's resources and processes are
 	// homed on: its own shard on a partitioned simulation (one partition
-	// per node), the default shard otherwise.
+	// per disk node; diskless processors share their spool node's shard),
+	// the default shard otherwise.
 	Part *sim.Shard
 	CPU  *sim.Resource
 	NIC  *sim.Resource
@@ -143,6 +179,13 @@ type Node struct {
 	// overflow resolution spools partitions to temporary files, §6).
 	SpoolNode *Node
 
+	// Activity counters, mutated only from this node's shard (the sender
+	// owns every counter a send touches), so parallel windows never race.
+	stats       Stats
+	ringBusy    sim.Dur
+	lossCtr     int
+	retransmits int64
+
 	failed bool
 	ports  []*Port
 }
@@ -151,7 +194,8 @@ type Node struct {
 // future messages are dropped with their window credits returned to the
 // senders) and ports created later start closed. The caller is responsible
 // for killing the node's processes and failing its drive; Fail only severs
-// the node from the network. Idempotent.
+// the node from the network. Only supported on serialized simulations
+// (lookahead 0) — fault experiments run there. Idempotent.
 func (nd *Node) Fail() {
 	if nd.failed {
 		return
@@ -173,17 +217,31 @@ func (nd *Node) Recover() { nd.failed = false }
 
 // AddNode attaches a node; diskCfg is used only when withDisk is true. On a
 // partitioned simulation every node gets its own shard (the default shard
-// stays for machine-global objects like the ring, the scheduler, and the
-// host), so the node's CPU, NIC, drive, ports, and operator processes all
-// live in one partition. The ring network interacts across nodes at the
-// same simulated instant, so a Gamma simulation must be partitioned with
-// lookahead 0 — structurally sharded, serialized in merged global order.
+// stays for machine-global objects), so the node's CPU, NIC, drive, ports,
+// and operator processes all live in one partition. Remote deliveries are
+// floored at Net.MinLatency, so the partition runs correctly under any
+// kernel lookahead up to MinLatency — including truly parallel windows.
 func (n *Network) AddNode(withDisk bool, diskCfg config.Disk) *Node {
-	id := len(n.nodes)
 	part := n.sim.DefaultShard()
 	if n.sim.Partitioned() {
 		part = n.sim.AddShard()
 	}
+	return n.addNode(part, withDisk, diskCfg)
+}
+
+// AddNodeOn attaches a diskless node homed on an existing node's shard and
+// spooling to that node's drive. Colocating a diskless processor with its
+// spool node keeps join-overflow spooling (file create/append/read on the
+// spool drive) shard-local, which is what lets joins run inside parallel
+// windows.
+func (n *Network) AddNodeOn(spool *Node) *Node {
+	nd := n.addNode(spool.Part, false, config.Disk{})
+	nd.SpoolNode = spool
+	return nd
+}
+
+func (n *Network) addNode(part *sim.Shard, withDisk bool, diskCfg config.Disk) *Node {
+	id := len(n.nodes)
 	nd := &Node{
 		ID:   id,
 		net:  n,
@@ -209,6 +267,17 @@ func (nd *Node) UseCPU(p *sim.Proc, instr int) {
 	}
 }
 
+// dropNext deterministically decides whether this node's next data packet
+// is lost in transit.
+func (nd *Node) dropNext() bool {
+	net := nd.net
+	if net.lossNum <= 0 || net.lossDen <= 0 {
+		return false
+	}
+	nd.lossCtr++
+	return nd.lossCtr%((net.lossDen+net.lossNum-1)/net.lossNum) == 0
+}
+
 // Port is a well-known mailbox on a node. Operator processes receive their
 // input streams and control packets through ports.
 type Port struct {
@@ -220,10 +289,14 @@ type Port struct {
 }
 
 // NewPort creates a named port on the node. A port created on a failed node
-// starts closed.
+// starts closed. The node's port registry (used only by Fail) is maintained
+// on serialized simulations; under positive lookahead ports may be created
+// cross-shard mid-window, and Fail is not supported there.
 func (nd *Node) NewPort(name string) *Port {
 	pt := &Port{node: nd, name: name, recvq: nd.Part.NewWaitQ("port:" + name), closed: nd.failed}
-	nd.ports = append(nd.ports, pt)
+	if nd.net.sim.Lookahead() == 0 {
+		nd.ports = append(nd.ports, pt)
+	}
 	return pt
 }
 
@@ -258,9 +331,9 @@ func (pt *Port) Name() string { return pt.name }
 // Pending returns the number of queued, undelivered messages.
 func (pt *Port) Pending() int { return len(pt.queue) }
 
-// deliver enqueues m and wakes one waiting receiver. Kernel context.
-// Delivery to a closed port drops the message, immediately returning the
-// sender's window credit.
+// deliver enqueues m and wakes one waiting receiver. Kernel context, on the
+// port's shard. Delivery to a closed port drops the message, immediately
+// returning the sender's window credits.
 func (pt *Port) deliver(m Message) {
 	if pt.closed {
 		if m.release != nil {
@@ -273,7 +346,8 @@ func (pt *Port) deliver(m Message) {
 }
 
 // Recv blocks p until a message is available and returns it. Receiving a
-// remote data packet charges the protocol-processing CPU cost to p.
+// remote data message charges the protocol-processing CPU cost to p, once
+// per wire packet the message occupied.
 func (pt *Port) Recv(p *sim.Proc) Message {
 	for len(pt.queue) == 0 {
 		pt.recvq.Park(p)
@@ -281,7 +355,11 @@ func (pt *Port) Recv(p *sim.Proc) Message {
 	m := pt.queue[0]
 	pt.queue = pt.queue[1:]
 	if m.From != nil && m.From != pt.node && m.Kind == Data {
-		pt.node.UseCPU(p, pt.node.net.cfg.InstrPerPacket)
+		np := m.packets
+		if np < 1 {
+			np = 1
+		}
+		pt.node.UseCPU(p, pt.node.net.cfg.InstrPerPacket*np)
 	}
 	if m.release != nil {
 		m.release()
@@ -294,9 +372,10 @@ func (pt *Port) Recv(p *sim.Proc) Message {
 // or d elapses, reporting false on timeout. Used by a failover-armed
 // scheduler to detect a dead operator by silence on its inbox.
 func (pt *Port) RecvTimeout(p *sim.Proc, d sim.Dur) (Message, bool) {
-	deadline := pt.node.net.sim.Now() + d
+	sh := pt.node.Part
+	deadline := sh.Now() + d
 	for len(pt.queue) == 0 {
-		if !pt.recvq.ParkTimeout(p, deadline-pt.node.net.sim.Now()) && len(pt.queue) == 0 {
+		if !pt.recvq.ParkTimeout(p, deadline-sh.Now()) && len(pt.queue) == 0 {
 			return Message{}, false
 		}
 	}
@@ -318,6 +397,12 @@ type Conn struct {
 	to      *Port
 	credits int
 	waitq   *sim.WaitQ
+	// lastArr is the latest arrival scheduled on this connection. The
+	// window protocol delivers in order, so a later message never arrives
+	// before an earlier one — without this floor a small end-of-stream
+	// message could overtake a deep batched data message whose ring
+	// transit dominates its arrival time.
+	lastArr sim.Time
 }
 
 // Dial opens a connection from nd to the port.
@@ -332,108 +417,183 @@ func (nd *Node) Dial(to *Port) *Conn {
 // Local reports whether the connection short-circuits (same node).
 func (c *Conn) Local() bool { return c.from == c.to.node }
 
-// Send transmits a data packet of the given byte size carrying payload.
+// Send transmits a data message of the given byte size carrying payload.
 // Same-node sends short-circuit: a little CPU and immediate delivery.
-// Remote sends consume a window credit (blocking when the window is full),
-// the sender's protocol CPU, the sender's NIC, the ring, and the receiver's
-// NIC; the credit returns when the receiver consumes the packet.
+// Remote sends occupy ceil(bytes/PacketBytes) wire packets: they consume
+// that many window credits (blocking while the window lacks them), the
+// sender's protocol CPU and NIC, and the ring's transit latency; the
+// arrival is floored at MinLatency after the send instant, the receiver's
+// NIC is charged on arrival, and the credits return one MinLatency hop
+// after the receiver consumes the message.
 func (c *Conn) Send(p *sim.Proc, kind MsgKind, payload any, bytes int) {
 	net := c.from.net
 	if c.Local() {
 		c.from.UseCPU(p, net.cfg.InstrPerLocalMsg)
-		net.stats.LocalMsgs++
+		c.from.stats.LocalMsgs++
 		if net.sim.Tracing() {
-			net.sim.Emit(trace.Event{
-				At: int64(net.sim.Now()), Kind: trace.KindLocalMsg,
+			p.Emit(trace.Event{
+				At: int64(p.Now()), Kind: trace.KindLocalMsg,
 				Class: kind.String(), Node: c.from.ID, Bytes: bytes,
 			})
 		}
 		c.to.deliver(Message{From: c.from, Kind: kind, Payload: payload})
 		return
 	}
-	for c.credits == 0 {
+	npackets := 1
+	if pb := net.cfg.PacketBytes; pb > 0 && bytes > pb {
+		npackets = (bytes + pb - 1) / pb
+	}
+	window := net.cfg.Window
+	if window <= 0 {
+		window = 1
+	}
+	if npackets > window {
+		panic(fmt.Sprintf("nose: %d-packet message exceeds window %d (batch too deep)", npackets, window))
+	}
+	for c.credits < npackets {
 		c.waitq.Park(p)
 	}
-	c.credits--
-	c.from.UseCPU(p, net.cfg.InstrPerPacket)
-	c.from.NIC.Use(p, net.cfg.NICTime(bytes))
-	net.stats.DataPackets++
-	net.stats.RingBytes += int64(bytes)
+	c.credits -= npackets
+	c.from.UseCPU(p, net.cfg.InstrPerPacket*npackets)
+	t0 := p.Now()
+	nicDone := c.from.NIC.UseAsync(net.cfg.NICTime(bytes))
+	c.from.stats.DataPackets += int64(npackets)
+	c.from.stats.RingBytes += int64(bytes)
+	c.from.ringBusy += net.cfg.RingTime(bytes)
 	if net.sim.Tracing() {
-		net.sim.Emit(trace.Event{
-			At: int64(net.sim.Now()), Kind: trace.KindPacket,
+		e := trace.Event{
+			At: int64(t0), Kind: trace.KindPacket,
 			Class: kind.String(), From: c.from.ID, To: c.to.node.ID, Bytes: bytes,
-		})
+		}
+		if npackets > 1 {
+			e.N = npackets
+		}
+		p.Emit(e)
 	}
-	ringDone := net.ring.UseAsync(net.cfg.RingTime(bytes))
-	conn := c
-	release := func() {
-		conn.credits++
-		conn.waitq.WakeOne()
+	arr := c.arrival(t0, nicDone, bytes)
+	release := c.releaseFn(npackets)
+	if c.from.dropNext() {
+		c.scheduleRetry(arr+retransmitTimeout, kind, payload, bytes, npackets, release)
+	} else {
+		c.deliverAt(arr, kind, payload, bytes, npackets, release)
 	}
-	c.transmit(ringDone, kind, payload, bytes, release)
+	// The sender's process is occupied while its Unibus pushes the message
+	// out, exactly as the old blocking NIC charge behaved.
+	p.WaitUntil(nicDone)
 }
 
-// transmit schedules the in-flight half of a remote send: ring transit,
-// receiver NIC, and delivery. A packet the fault injector drops is resent
-// after the protocol's retransmission timeout (charging the ring and both
-// NICs again, asynchronously — the sender's process is not re-blocked, as
-// the window already accounts for the unacknowledged packet).
-func (c *Conn) transmit(ringDone sim.Time, kind MsgKind, payload any, bytes int, release func()) {
+// arrival computes when a message sent at t0 whose sender-NIC copy finishes
+// at nicDone reaches the destination node: ring transit after the NIC,
+// floored at MinLatency past the send instant, and never before any
+// arrival already scheduled on this connection (the channel is FIFO).
+func (c *Conn) arrival(t0 sim.Time, nicDone sim.Time, bytes int) sim.Time {
 	net := c.from.net
-	net.sim.At(ringDone, func() {
-		if net.dropNext() {
-			net.retransmits++
-			net.sim.Emit(trace.Event{
-				At: int64(net.sim.Now()), Kind: trace.KindRetransmit,
+	arr := nicDone + net.cfg.RingTime(bytes)
+	if min := t0 + net.cfg.MinLatency; arr < min {
+		arr = min
+	}
+	if arr < c.lastArr {
+		arr = c.lastArr
+	}
+	c.lastArr = arr
+	return arr
+}
+
+// releaseFn builds the consume callback for a remote message: it runs on
+// the receiver's shard and routes the window-credit ACK back to the sender
+// one MinLatency hop later.
+func (c *Conn) releaseFn(npackets int) func() {
+	return func() {
+		recv := c.to.node.Part
+		recv.Send(c.from.Part, recv.Now()+c.from.net.cfg.MinLatency, func() {
+			c.credits += npackets
+			c.waitq.WakeOne()
+		})
+	}
+}
+
+// deliverAt schedules the arrival on the receiver's shard: the message
+// crosses the receiving Unibus, then lands in the port.
+func (c *Conn) deliverAt(arr sim.Time, kind MsgKind, payload any, bytes, npackets int, release func()) {
+	net := c.from.net
+	to := c.to
+	from := c.from
+	c.from.Part.Send(to.node.Part, arr, func() {
+		nicDone := to.node.NIC.UseAsync(net.cfg.NICTime(bytes))
+		to.node.Part.At(nicDone, func() {
+			// The credits return only when the receiving process
+			// consumes the message (Port.Recv), so a slow consumer
+			// stalls its producers once the window fills.
+			to.deliver(Message{From: from, Kind: kind, Payload: payload, packets: npackets, release: release})
+		})
+	})
+}
+
+// scheduleRetry resends a dropped message after the protocol's timeout: the
+// sender's NIC and the ring are charged again, the resend may itself be
+// dropped, and the sender's process is not re-blocked (the window already
+// accounts for the unacknowledged packets). Runs on the sender's shard.
+func (c *Conn) scheduleRetry(at sim.Time, kind MsgKind, payload any, bytes, npackets int, release func()) {
+	net := c.from.net
+	c.from.Part.At(at, func() {
+		c.from.retransmits++
+		if net.sim.Tracing() {
+			c.from.Part.Emit(trace.Event{
+				At: int64(c.from.Part.Now()), Kind: trace.KindRetransmit,
 				From: c.from.ID, To: c.to.node.ID, Bytes: bytes,
 			})
-			retry := c.from.NIC.UseAsync(net.cfg.NICTime(bytes))
-			if t := net.sim.Now() + retransmitTimeout; t > retry {
-				retry = t
-			}
-			ringRetry := net.ring.UseAsync(net.cfg.RingTime(bytes))
-			if ringRetry < retry {
-				ringRetry = retry
-			}
-			c.transmit(ringRetry, kind, payload, bytes, release)
+		}
+		t0 := c.from.Part.Now()
+		nicDone := c.from.NIC.UseAsync(net.cfg.NICTime(bytes))
+		c.from.stats.RingBytes += int64(bytes)
+		c.from.ringBusy += net.cfg.RingTime(bytes)
+		arr := c.arrival(t0, nicDone, bytes)
+		if c.from.dropNext() {
+			c.scheduleRetry(arr+retransmitTimeout, kind, payload, bytes, npackets, release)
 			return
 		}
-		nicDone := c.to.node.NIC.UseAsync(net.cfg.NICTime(bytes))
-		net.sim.At(nicDone, func() {
-			// The credit returns only when the receiving process
-			// consumes the packet (Port.Recv), so a slow consumer
-			// stalls its producers once the window fills.
-			c.to.deliver(Message{From: c.from, Kind: kind, Payload: payload, release: release})
-		})
+		c.deliverAt(arr, kind, payload, bytes, npackets, release)
 	})
 }
 
 // TransferBulk charges p for moving bytes between two nodes outside the
 // port/window machinery (spool-file traffic of diskless processors). It is
-// a no-op between a node and itself.
+// a no-op between a node and itself. The transfer occupies both NICs in
+// sequence with ring transit (floored at MinLatency) between them; inside
+// parallel windows callers must be shard-colocated with both endpoints
+// (diskless nodes are homed on their spool node's shard for this reason).
 func (n *Network) TransferBulk(p *sim.Proc, from, to *Node, bytes int) {
 	if from == to || from == nil || to == nil {
 		return
 	}
+	t0 := p.Now()
 	from.NIC.Use(p, n.cfg.NICTime(bytes))
-	n.ring.Use(p, n.cfg.RingTime(bytes))
+	from.stats.RingBytes += int64(bytes)
+	from.ringBusy += n.cfg.RingTime(bytes)
+	arr := p.Now() + n.cfg.RingTime(bytes)
+	if min := t0 + n.cfg.MinLatency; arr < min {
+		arr = min
+	}
+	p.WaitUntil(arr)
 	to.NIC.Use(p, n.cfg.NICTime(bytes))
-	n.stats.RingBytes += int64(bytes)
 }
 
-// SendCtl sends a small control message. Inter-node control messages cost
-// the sender CtlMsg of CPU time (§6.2.3's 7 ms), which serializes a
-// scheduler initiating operators across many nodes; same-node control
+// SendCtl sends a small control message. An inter-node control message
+// costs the sender CtlMsg of CPU time (§6.2.3's 7 ms) — which is what
+// serializes a scheduler initiating operators across many nodes, since each
+// initiation occupies the scheduler's CPU before the next can start — and
+// then crosses the wire with the MinLatency floor like any other remote
+// send. The trace event carries the CtlMsg cost in Dur so Diagnose can
+// attribute control-plane time (the "ctl" pseudo-class). Same-node control
 // messages short-circuit.
 func SendCtl(p *sim.Proc, from *Node, to *Port, payload any) {
 	net := from.net
 	if from == to.node {
 		from.UseCPU(p, net.cfg.InstrPerLocalMsg)
-		net.stats.LocalMsgs++
+		from.stats.LocalMsgs++
 		if net.sim.Tracing() {
-			net.sim.Emit(trace.Event{
-				At: int64(net.sim.Now()), Kind: trace.KindLocalMsg,
+			p.Emit(trace.Event{
+				At: int64(p.Now()), Kind: trace.KindLocalMsg,
 				Class: Control.String(), Node: from.ID,
 			})
 		}
@@ -441,12 +601,16 @@ func SendCtl(p *sim.Proc, from *Node, to *Port, payload any) {
 		return
 	}
 	from.CPU.Use(p, net.cfg.CtlMsg)
-	net.stats.CtlMsgs++
+	from.stats.CtlMsgs++
 	if net.sim.Tracing() {
-		net.sim.Emit(trace.Event{
-			At: int64(net.sim.Now()), Kind: trace.KindCtlMsg,
-			From: from.ID, To: to.node.ID,
+		p.Emit(trace.Event{
+			At: int64(p.Now()), Kind: trace.KindCtlMsg,
+			From: from.ID, To: to.node.ID, Dur: int64(net.cfg.CtlMsg),
 		})
 	}
-	to.deliver(Message{From: from, Kind: Control, Payload: payload})
+	target := to
+	src := from
+	from.Part.Send(to.node.Part, p.Now()+net.cfg.MinLatency, func() {
+		target.deliver(Message{From: src, Kind: Control, Payload: payload})
+	})
 }

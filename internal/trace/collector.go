@@ -58,6 +58,7 @@ type Collector struct {
 	failovers []Event // KindFailover events, in emission order
 	shared    []Event // KindSharedScan events, in emission order
 	heals     []Event // KindHeal/KindPromote/KindRebuild events, in emission order
+	ctls      []Event // KindCtlMsg events carrying a Dur cost, in emission order
 }
 
 // NewCollector returns an empty collector.
@@ -107,6 +108,10 @@ func (c *Collector) Emit(e Event) {
 			c.phases[i].End = e.At
 			c.phases[i].N = e.N
 			delete(c.openPhase, k)
+		}
+	case KindCtlMsg:
+		if e.Dur > 0 {
+			c.ctls = append(c.ctls, e)
 		}
 	case KindFault:
 		c.faults = append(c.faults, e)
@@ -190,6 +195,10 @@ func (c *Collector) SharedScans() []Event { return c.shared }
 // Heals returns every healing-layer event (heal, promote, rebuild) in
 // emission order.
 func (c *Collector) Heals() []Event { return c.heals }
+
+// CtlMsgs returns every control-message event that carried a Dur cost, in
+// emission order. These feed the "ctl" pseudo-class of Diagnose.
+func (c *Collector) CtlMsgs() []Event { return c.ctls }
 
 // Resources returns every resource name seen, in registration order.
 func (c *Collector) Resources() []string {

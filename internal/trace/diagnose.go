@@ -47,8 +47,10 @@ type Verdict struct {
 }
 
 // classRank breaks exact utilization ties deterministically, preferring the
-// physically scarcer resource (the paper's diagnosis order).
-var classRank = map[string]int{"disk": 0, "nic": 1, "cpu": 2, "ring": 3}
+// physically scarcer resource (the paper's diagnosis order). "ctl" is the
+// control-message pseudo-class (see Diagnose); it ranks last so real
+// hardware wins exact ties.
+var classRank = map[string]int{"disk": 0, "nic": 1, "cpu": 2, "ring": 3, "ctl": 4}
 
 func rankOf(class string) int {
 	if r, ok := classRank[class]; ok {
@@ -85,6 +87,40 @@ func (c *Collector) Diagnose(from, to int64) Verdict {
 		cu.Busy += busy
 		if u := float64(busy) / window; u > cu.Util {
 			cu.Util, cu.Res = u, name
+		}
+	}
+	// Control-message attribution: KindCtlMsg events carry their per-message
+	// cost in Dur (§6.2.3's 7 ms). They are folded into a "ctl" pseudo-class
+	// whose Util is the busiest *sender's* share of the window — the
+	// scheduler initiating operators serially is exactly this number. The
+	// time overlaps the sender's cpu class (control messages are charged to
+	// the sending CPU), so ctl is an attribution, not extra hardware; it can
+	// still legitimately win short queries, which is the paper's §6.2.3
+	// observation that startup control traffic dominates small selections.
+	if len(c.ctls) > 0 {
+		perSender := map[int]int64{}
+		var senders []int
+		var total int64
+		for _, e := range c.ctls {
+			if e.At < from || e.At > to {
+				continue
+			}
+			if _, ok := perSender[e.From]; !ok {
+				senders = append(senders, e.From)
+			}
+			perSender[e.From] += e.Dur
+			total += e.Dur
+		}
+		if total > 0 {
+			sort.Ints(senders)
+			cu := &ClassUtil{Class: "ctl", Busy: total}
+			for _, nd := range senders {
+				if u := float64(perSender[nd]) / window; u > cu.Util {
+					cu.Util, cu.Res = u, fmt.Sprintf("ctl%d", nd)
+				}
+			}
+			byClass["ctl"] = cu
+			order = append(order, "ctl")
 		}
 	}
 	for _, class := range order {

@@ -107,6 +107,7 @@ type Event struct {
 	File  int    `json:"file,omitempty"`  // file id (disk ops)
 	Page  int    `json:"page,omitempty"`  // page number (disk ops)
 	N     int    `json:"n,omitempty"`     // generic count (tuples produced)
+	Dur   int64  `json:"dur,omitempty"`   // attributed cost µs (ctl messages)
 }
 
 // Sink receives events. The Collector is the standard sink; the interface
