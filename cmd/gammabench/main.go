@@ -4,8 +4,9 @@
 // Usage:
 //
 //	gammabench [-quick] [-list] [-parallel N] [-json] [-kernel serial|partitioned]
-//	           [-kernel-workers N] [-lookahead US] [-campaign-seed S]
-//	           [-campaign-faults N] [-experiment a,b] [experiment ...]
+//	           [-kernel-workers N] [-lookahead US] [-generation NAME]
+//	           [-campaign-seed S] [-campaign-faults N] [-experiment a,b]
+//	           [experiment ...]
 //
 // With no experiment arguments every registered experiment runs; experiments
 // can be named positionally or as a comma-separated -experiment list (both
@@ -36,6 +37,15 @@
 // and -1 (the default) derives it. The GAMMA_KERNEL, GAMMA_KERNEL_WORKERS,
 // and GAMMA_LOOKAHEAD environment variables provide the same knobs to the
 // test suite.
+//
+// -generation parameterizes every machine with a named hardware generation
+// (-list-generations enumerates them; the default is gamma1988, the paper's
+// VAX-era build). Unknown names are rejected with the valid list — the
+// GAMMA_GENERATION environment variable provides the same knob, and the
+// flag wins when both are set. The partitioned kernel derives its windows
+// from the generation's network latency floor, so fast generations lean on
+// the earliest-output-time scheduler (see DESIGN.md §12); the -json report
+// echoes the generation and adds the kernel's window counters.
 package main
 
 import (
@@ -50,6 +60,7 @@ import (
 	"time"
 
 	"gamma/internal/bench"
+	"gamma/internal/config"
 	"gamma/internal/sim"
 )
 
@@ -60,25 +71,34 @@ import (
 // experiment's data points, so under -parallel it can exceed wall_seconds;
 // query_wall_seconds is clamped at zero in that case.
 type jsonExperiment struct {
-	ID               string             `json:"id"`
-	Title            string             `json:"title"`
-	WallSeconds      float64            `json:"wall_seconds"`
-	SetupWallSeconds float64            `json:"setup_wall_seconds"`
-	QueryWallSeconds float64            `json:"query_wall_seconds"`
-	SimEvents        int64              `json:"simulated_events"`
-	EventsPerSec     float64            `json:"events_per_second"`
-	ImageCacheHits   int64              `json:"image_cache_hits"`
-	ImageCacheMisses int64              `json:"image_cache_misses"`
-	Metrics          map[string]float64 `json:"metrics,omitempty"`
+	ID               string  `json:"id"`
+	Title            string  `json:"title"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	SetupWallSeconds float64 `json:"setup_wall_seconds"`
+	QueryWallSeconds float64 `json:"query_wall_seconds"`
+	SimEvents        int64   `json:"simulated_events"`
+	EventsPerSec     float64 `json:"events_per_second"`
+	ImageCacheHits   int64   `json:"image_cache_hits"`
+	ImageCacheMisses int64   `json:"image_cache_misses"`
+	// EOT window-scheduler counters, aggregated over every simulation the
+	// experiment ran; all zero when it executed on the serial kernel. The
+	// counts are deterministic (they depend only on the event schedule and
+	// the declared floors/promises, not on worker interleaving).
+	KernelWindows         int64              `json:"kernel_windows,omitempty"`
+	KernelWindowOccupancy float64            `json:"kernel_window_occupancy,omitempty"`
+	KernelEventsPerWindow float64            `json:"kernel_events_per_window,omitempty"`
+	KernelPromises        int64              `json:"kernel_promises,omitempty"`
+	Metrics               map[string]float64 `json:"metrics,omitempty"`
 }
 
 type jsonReport struct {
-	Suite            string           `json:"suite"`  // "full" or "quick"
-	Kernel           string           `json:"kernel"` // "serial" or "partitioned"
+	Suite      string `json:"suite"`      // "full" or "quick"
+	Kernel     string `json:"kernel"`     // "serial" or "partitioned"
+	Generation string `json:"generation"` // hardware generation the machines were parameterized with
 	// LookaheadUS echoes the -lookahead flag: -1 = derived from the
 	// network latency floor, 0 = forced serialized, else explicit µs.
-	LookaheadUS int `json:"lookahead_us"`
-	Workers     int `json:"workers"`
+	LookaheadUS      int              `json:"lookahead_us"`
+	Workers          int              `json:"workers"`
 	GoMaxProcs       int              `json:"gomaxprocs"`
 	TotalWallSeconds float64          `json:"total_wall_seconds"`
 	ImageCacheHits   int64            `json:"image_cache_hits"`
@@ -97,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kernel := fs.String("kernel", "", "simulation `kernel`: serial (default) or partitioned; partitioned shards each machine one-per-node with the serial order as oracle")
 	kernelWorkers := fs.Int("kernel-workers", 0, "worker goroutines per partitioned simulation's conservative windows (models with positive lookahead only)")
 	lookahead := fs.Int("lookahead", -1, "conservative-window lookahead in simulated `microseconds` for windowed experiments: -1 derives it from the network latency floor, 0 forces serialized scheduling, positive values are capped at the floor")
+	generation := fs.String("generation", "", "hardware `generation` to parameterize the machines with (see -list-generations; default gamma1988)")
+	listGens := fs.Bool("list-generations", false, "list hardware generations and exit")
 	experiment := fs.String("experiment", "", "comma-separated experiment `ids` to run (adds to positional ids)")
 	campaignSeed := fs.Uint64("campaign-seed", 0, "`seed` for the availability experiment's fault campaign (0 = default)")
 	campaignFaults := fs.Int("campaign-faults", 0, "faults per availability campaign (0 = default)")
@@ -117,12 +139,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *listGens {
+		for _, g := range config.Generations() {
+			fmt.Fprintf(stdout, "%-12s %s\n", g.Name, g.Desc)
+		}
+		return 0
+	}
 
 	opts := bench.Full()
 	suite := "full"
 	if *quick {
 		opts = bench.Quick()
 		suite = "quick"
+	}
+	// -generation wins over the GAMMA_GENERATION environment variable; both
+	// are validated strictly — a typo must not silently run gamma1988.
+	genName := *generation
+	if genName == "" {
+		genName = os.Getenv("GAMMA_GENERATION")
+	}
+	if genName != "" {
+		prm, ok := config.ByGeneration(genName)
+		if !ok {
+			fmt.Fprintf(stderr, "gammabench: unknown generation %q (valid: %s)\n",
+				genName, strings.Join(config.GenerationNames(), ", "))
+			fs.Usage()
+			return 2
+		}
+		opts.Params = &prm
+	} else {
+		genName = "gamma1988"
 	}
 	switch *kernel {
 	case "", "serial", "partitioned":
@@ -210,6 +256,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep := jsonReport{
 			Suite:            suite,
 			Kernel:           kernelName,
+			Generation:       genName,
 			LookaheadUS:      *lookahead,
 			Workers:          *parallel,
 			GoMaxProcs:       runtime.GOMAXPROCS(0),
@@ -218,7 +265,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, r := range reports {
 			rep.ImageCacheHits += r.ImageHits
 			rep.ImageCacheMisses += r.ImageMisses
-			rep.Experiments = append(rep.Experiments, jsonExperiment{
+			je := jsonExperiment{
 				ID:               r.ID,
 				Title:            r.Title,
 				WallSeconds:      r.Wall.Seconds(),
@@ -228,8 +275,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				EventsPerSec:     r.EventsPerSec(),
 				ImageCacheHits:   r.ImageHits,
 				ImageCacheMisses: r.ImageMisses,
+				KernelWindows:    r.Windows.Windows,
+				KernelPromises:   r.Windows.Promises,
 				Metrics:          r.Table.Metrics,
-			})
+			}
+			if r.Windows.Windows > 0 {
+				je.KernelWindowOccupancy = r.Windows.Occupancy()
+				je.KernelEventsPerWindow = float64(r.Windows.WindowEvents) / float64(r.Windows.Windows)
+			}
+			rep.Experiments = append(rep.Experiments, je)
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

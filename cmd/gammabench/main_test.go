@@ -128,6 +128,54 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestGenerationFlag: -generation and GAMMA_GENERATION select a hardware
+// generation, reject unknown names with the valid list before anything
+// simulates, and the flag wins over the environment.
+func TestGenerationFlag(t *testing.T) {
+	null := devNull(t)
+	var errBuf bytes.Buffer
+	if code := run([]string{"-quick", "-generation", "gamma1989", "table3"}, null, &errBuf); code != 2 {
+		t.Errorf("-generation with unknown name: exit code %d, want 2", code)
+	}
+	for _, want := range []string{"unknown generation", "gamma1988", "gbe2015", "rdma"} {
+		if !bytes.Contains(errBuf.Bytes(), []byte(want)) {
+			t.Errorf("error output missing %q:\n%s", want, errBuf.String())
+		}
+	}
+	t.Setenv("GAMMA_GENERATION", "bogus")
+	if code := run([]string{"-quick", "table3"}, null, null); code != 2 {
+		t.Errorf("GAMMA_GENERATION=bogus: exit code %d, want 2", code)
+	}
+	// The explicit flag overrides the (bad) environment value and the -json
+	// report echoes the generation.
+	var out bytes.Buffer
+	if code := run([]string{"-quick", "-json", "-parallel", "1", "-generation", "rdma", "-experiment", "table3"}, &out, null); code != 0 {
+		t.Fatalf("-generation rdma run: exit code %d", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if rep.Generation != "rdma" {
+		t.Errorf("json generation = %q, want rdma", rep.Generation)
+	}
+}
+
+// TestListGenerations: -list-generations enumerates every registered
+// generation and exits cleanly.
+func TestListGenerations(t *testing.T) {
+	null := devNull(t)
+	var out bytes.Buffer
+	if code := run([]string{"-list-generations"}, &out, null); code != 0 {
+		t.Fatalf("-list-generations: exit code %d, want 0", code)
+	}
+	for _, want := range []string{"gamma1988", "gbe2015", "rdma"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Errorf("-list-generations output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunRejectsBadParallel(t *testing.T) {
 	null := devNull(t)
 	for _, v := range []string{"0", "-3", "two"} {

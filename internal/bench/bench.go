@@ -79,9 +79,11 @@ type Options struct {
 
 	// sem is the suite-wide worker-slot semaphore shared by RunSuite and
 	// parMap; nil means serial. events, when set, accumulates the number of
-	// simulated events across every machine the experiment builds.
-	sem    chan struct{}
-	events *atomic.Int64
+	// simulated events across every machine the experiment builds, and
+	// windows the partitioned kernel's EOT window-scheduler statistics.
+	sem     chan struct{}
+	events  *atomic.Int64
+	windows *sim.WindowCounters
 
 	// images is the suite-wide machine-image cache (see imagecache.go);
 	// nil means every data point builds its database from scratch, which is
@@ -246,6 +248,9 @@ func (o Options) newSim() *sim.Sim {
 	}
 	if o.events != nil {
 		s.SetEventCounter(o.events)
+	}
+	if o.windows != nil {
+		s.SetWindowCounters(o.windows)
 	}
 	return s
 }

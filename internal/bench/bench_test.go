@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"aggregate", "hybrid", "bitvector", "pagesize-default", "multiuser", "placement", "recovery", "scaleup",
-		"degraded", "scale100", "availability", "netgen",
+		"degraded", "scale100", "availability", "netgen", "kernelscale",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -59,6 +59,11 @@ func TestSuiteReportsCacheHits(t *testing.T) {
 	for _, r := range reports {
 		hits += r.ImageHits
 		misses += r.ImageMisses
+		if r.ID == "kernelscale" {
+			// Builds raw kernel rings, not Gamma machines: no databases, no
+			// images, no setup phase to record.
+			continue
+		}
 		if r.ImageHits+r.ImageMisses == 0 {
 			t.Errorf("%s: no image-cache lookups recorded", r.ID)
 			continue

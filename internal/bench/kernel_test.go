@@ -103,7 +103,14 @@ func TestKernelEquivalenceSuite(t *testing.T) {
 // and returns the full trace stream bytes.
 func tracedWorkload(t *testing.T, kernel string, workers int, la sim.Dur) []byte {
 	t.Helper()
-	prm := config.Default()
+	return tracedWorkloadOn(t, config.Default(), kernel, workers, la, nil)
+}
+
+// tracedWorkloadOn is tracedWorkload under explicit hardware parameters,
+// with an optional hook run after the machine is built (floor-tightness
+// tests use it to over-declare a shard's output or channel floor).
+func tracedWorkloadOn(t *testing.T, prm config.Params, kernel string, workers int, la sim.Dur, tweak func(m *core.Machine)) []byte {
+	t.Helper()
 	var s *sim.Sim
 	switch kernel {
 	case "serial":
@@ -127,6 +134,9 @@ func tracedWorkload(t *testing.T, kernel string, workers int, la sim.Dur) []byte
 		Name: "A", Strategy: core.Hashed, PartAttr: rel.Unique1,
 		ClusteredIndex: &u1, NonClusteredIndexes: []rel.Attr{rel.Unique2},
 	}, wisconsin.Generate(5000, 1))
+	if tweak != nil {
+		tweak(m)
+	}
 	col := m.EnableTrace()
 	m.RunSelect(core.SelectQuery{
 		Scan: core.ScanSpec{Rel: r, Pred: rel.Between(rel.Unique2, 0, 499), Path: core.PathHeap},
@@ -165,24 +175,69 @@ func TestKernelEquivalenceTraces(t *testing.T) {
 	}
 }
 
-// TestLookaheadFloorIsTight: Net.MinLatency is the largest safe lookahead.
-// Running the Gamma model one microsecond above the floor must trip the
-// kernel's send-site violation panic — some remote delivery really does
-// arrive exactly MinLatency after it was sent — while the floor itself runs
-// clean (pinned by every windowed test in this file). This guards the whole
-// delivery path: a new remote interaction that forgets the floor turns into
-// a crash here, not a silent misordering.
+// TestLookaheadFloorIsTight: Net.MinLatency is the largest safe lookahead,
+// globally and per channel. Running the Gamma model one microsecond above
+// the floor must trip the kernel's send-site violation panic — some remote
+// delivery really does arrive exactly MinLatency after it was sent — while
+// the floor itself runs clean (pinned by every windowed test in this file).
+// The output-floor and channel-floor cases prove the same tightness for the
+// per-shard declarations: over-declaring the host's output floor, or its
+// channel floor toward the scheduler alone, trips the same panic at a
+// modest global lookahead. This guards the whole delivery path: a new
+// remote interaction that forgets the floor turns into a crash here, not a
+// silent misordering.
 func TestLookaheadFloorIsTight(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("no panic running above the latency floor")
+	floor := config.Default().Net.MinLatency
+	cases := []struct {
+		name  string
+		la    sim.Dur
+		tweak func(m *core.Machine)
+	}{
+		{"global-lookahead", floor + 1, nil},
+		{"output-floor", 100, func(m *core.Machine) {
+			m.Host.Part.SetOutFloor(floor + 1)
+		}},
+		{"channel-floor", 100, func(m *core.Machine) {
+			m.Host.Part.SetChannelFloor(m.Sched.Part, floor+1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic running above the latency floor")
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "violates lookahead") {
+					t.Fatalf("wrong panic: %v", r)
+				}
+			}()
+			tracedWorkloadOn(t, config.Default(), "partitioned", 1, tc.la, tc.tweak)
+		})
+	}
+}
+
+// TestKernelEquivalenceGenerations: trace byte-identity holds at every
+// hardware generation's own latency floor. The fast generations are the
+// hard case the EOT scheduler exists for — rdma's 2µs floor grants almost
+// no static window, so nearly every parallel window there comes from
+// earliest-output-time bounds and the nose's declared output floors.
+func TestKernelEquivalenceGenerations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation matrix is seconds-long; skipped in -short")
+	}
+	for _, gen := range config.Generations() {
+		prm := gen.Params()
+		la := prm.Net.MinLatency
+		ref := tracedWorkloadOn(t, prm, kernelVariants[0].kernel, kernelVariants[0].workers, la, nil)
+		for _, v := range kernelVariants[1:] {
+			got := tracedWorkloadOn(t, prm, v.kernel, v.workers, la, nil)
+			if !bytes.Equal(got, ref) {
+				t.Errorf("%s on %s: trace stream differs from serial kernel (%d vs %d bytes)",
+					v.name, gen.Name, len(got), len(ref))
+			}
 		}
-		if msg := fmt.Sprint(r); !strings.Contains(msg, "violates lookahead") {
-			t.Fatalf("wrong panic: %v", r)
-		}
-	}()
-	tracedWorkload(t, "partitioned", 1, config.Default().Net.MinLatency+1)
+	}
 }
 
 // TestKernelKnobEnvOverride: GAMMA_KERNEL/GAMMA_KERNEL_WORKERS select the

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gamma/internal/config"
+	"gamma/internal/sim"
+)
+
+func init() {
+	register("kernelscale", "EOT kernel scaling: window occupancy and speedup across hardware generations", runKernelScale)
+}
+
+// kscalePoint is one (generation, worker count) kernel run: the deterministic
+// simulation outcome plus the host wall time it took to compute it.
+type kscalePoint struct {
+	events int64
+	end    sim.Time
+	wall   time.Duration
+	ws     sim.WindowStats
+}
+
+// buildScaleRing wires a synthetic token ring tuned to stress the window
+// scheduler rather than the Gamma model: nodes shards, one token starting on
+// each, every token making hops trips to its successor. A token's arrival
+// triggers a burst of work events one microsecond apart — the shard promises
+// the burst up front (it provably sends nothing until the last event) — and
+// the final event forwards the token across the ring channel, whose delivery
+// floor is the generation's network latency. The declared lookahead is a
+// deliberately useless 1µs: every usable window comes from the promises and
+// the per-channel floors, which is exactly the regime a fast fabric puts the
+// kernel in.
+func buildScaleRing(s *sim.Sim, nodes, hops, work int, floor sim.Dur) {
+	shards := make([]*sim.Shard, nodes)
+	for i := range shards {
+		if i == 0 {
+			shards[i] = s.DefaultShard()
+		} else {
+			shards[i] = s.AddShard()
+		}
+	}
+	for i, sh := range shards {
+		next := shards[(i+1)%nodes]
+		sh.SetOutFloor(floor) // the ring channel is this shard's only exit
+		sh.SetChannelFloor(next, floor)
+	}
+	var hop func(i, remaining int) func()
+	hop = func(i, remaining int) func() {
+		return func() {
+			sh := shards[i]
+			// The burst's first event fires at the arrival instant, so the
+			// forwarding send initiates work-1 steps from now — promise
+			// exactly that, making the whole burst one window.
+			sh.Promise(sh.Now() + sim.Dur(work-1))
+			n := work
+			var step func()
+			step = func() {
+				n--
+				if n > 0 {
+					sh.After(1, step)
+				} else if remaining > 0 {
+					next := (i + 1) % nodes
+					sh.Send(shards[next], sh.Now()+floor, hop(next, remaining-1))
+				}
+			}
+			step()
+		}
+	}
+	// All tokens launch in phase: arrivals then land in shared cohorts, so
+	// one barrier serves the whole ring per hop instead of one per straggler.
+	for i := range shards {
+		shards[i].At(0, hop(i, hops))
+	}
+}
+
+// runKernelScale sweeps the EOT window scheduler across the hardware
+// generations and worker counts on the synthetic ring above. The serial
+// kernel (one worker) is the oracle and the baseline; two- and four-worker
+// runs must execute the identical event count and reach the identical end
+// time, and their host wall times yield the speedup metrics. On gamma1988
+// the 4.3ms network floor alone grants enormous windows; on rdma the static
+// floor is 2µs and every window the scheduler finds comes from promises and
+// earliest output times — the case PR 8's static-lookahead kernel
+// degenerated to near-serial on.
+func runKernelScale(o Options) *Table {
+	gens := config.Generations()
+	workersList := []int{1, 2, 4}
+	nV := len(workersList)
+
+	nodes := 8 * o.MaxProcs
+	if nodes < 16 {
+		nodes = 16
+	}
+	if nodes > 64 {
+		nodes = 64
+	}
+	hops := o.FigureTuples / 100
+	if hops < 8 {
+		hops = 8
+	}
+	if hops > 400 {
+		hops = 400
+	}
+	const work = 24
+
+	pts := parMap(o, len(gens)*nV, func(i int) kscalePoint {
+		gen, v := gens[i/nV], i%nV
+		prm := gen.Params()
+		var ev atomic.Int64
+		var wc sim.WindowCounters
+		s := sim.New()
+		s.Partition(1)
+		s.SetWorkers(workersList[v])
+		s.SetEventCounter(&ev)
+		s.SetWindowCounters(&wc)
+		buildScaleRing(s, nodes, hops, work, prm.Net.MinLatency)
+		start := time.Now()
+		end := s.Run()
+		wall := time.Since(start)
+		if o.events != nil {
+			o.events.Add(ev.Load())
+		}
+		if o.windows != nil {
+			o.windows.Add(wc.Stats())
+		}
+		return kscalePoint{events: ev.Load(), end: end, wall: wall, ws: wc.Stats()}
+	})
+
+	t := &Table{
+		ID:      "kernelscale",
+		Title:   fmt.Sprintf("EOT kernel scaling (%d-shard ring, %d-event bursts)", nodes, work),
+		Unit:    "counts at 4 workers (wall speedups in metrics: wall_*/speedup_*)",
+		Columns: []string{"events", "simulated s", "windows", "occupancy", "events/window", "promises"},
+		Metrics: map[string]float64{},
+	}
+	for gi, gen := range gens {
+		base := pts[gi*nV] // one worker: the serial oracle
+		for v := 1; v < nV; v++ {
+			pt := pts[gi*nV+v]
+			if pt.events != base.events || pt.end != base.end {
+				panic(fmt.Sprintf("kernelscale: %s at %d workers diverged from the serial oracle: %d events to %v vs %d to %v",
+					gen.Name, workersList[v], pt.events, pt.end, base.events, base.end))
+			}
+		}
+		p4 := pts[gi*nV+nV-1]
+		epw := 0.0
+		if p4.ws.Windows > 0 {
+			epw = float64(p4.ws.WindowEvents) / float64(p4.ws.Windows)
+		}
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s: %s", gen.Name, gen.Desc), Cells: []Cell{
+			{Measured: float64(base.events)},
+			{Measured: float64(base.end) / 1e6},
+			{Measured: float64(p4.ws.Windows)},
+			{Measured: p4.ws.Occupancy()},
+			{Measured: epw},
+			{Measured: float64(p4.ws.Promises)},
+		}})
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: channel floor %v; %d windows at occupancy %.0f%%, %.0f events/window",
+			gen.Name, gen.Params().Net.MinLatency, p4.ws.Windows, 100*p4.ws.Occupancy(), epw))
+
+		t.Metrics["events_"+gen.Name] = float64(base.events)
+		t.Metrics[fmt.Sprintf("windows_%s_w4", gen.Name)] = float64(p4.ws.Windows)
+		t.Metrics[fmt.Sprintf("occupancy_%s_w4", gen.Name)] = p4.ws.Occupancy()
+		t.Metrics[fmt.Sprintf("events_per_window_%s_w4", gen.Name)] = epw
+		t.Metrics[fmt.Sprintf("promises_%s_w4", gen.Name)] = float64(p4.ws.Promises)
+		for v, w := range workersList {
+			t.Metrics[fmt.Sprintf("wall_%s_w%d", gen.Name, w)] = pts[gi*nV+v].wall.Seconds()
+			if v > 0 && pts[gi*nV+v].wall > 0 {
+				t.Metrics[fmt.Sprintf("speedup_%s_w%d", gen.Name, w)] =
+					base.wall.Seconds() / pts[gi*nV+v].wall.Seconds()
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"One worker runs the serial oracle; multi-worker runs must match its event count and end time exactly.",
+		"Table cells and metrics are deterministic except wall_*/speedup_*, which measure host wall time.")
+	return t
+}

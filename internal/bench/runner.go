@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gamma/internal/sim"
 )
 
 // Report is the outcome of one experiment in a suite run.
@@ -21,6 +23,10 @@ type Report struct {
 	// built and snapshotted the database, a hit restored it copy-on-write.
 	ImageHits   int64
 	ImageMisses int64
+	// Windows aggregates the partitioned kernel's EOT window-scheduler
+	// counters across every simulation the experiment ran; all zero when
+	// the experiment executed on the serial kernel.
+	Windows sim.WindowStats
 }
 
 // EventsPerSec returns the simulated-event throughput of the run.
@@ -62,15 +68,18 @@ func RunSuite(exps []Experiment, o Options, workers int) []Report {
 	reports := make([]Report, len(exps))
 	run := func(i int, e Experiment, oo Options) {
 		var ev, su, ih, im atomic.Int64
+		var wc sim.WindowCounters
 		oo.events = &ev
 		oo.setup = &su
 		oo.imgHits = &ih
 		oo.imgMisses = &im
+		oo.windows = &wc
 		start := time.Now()
 		tbl := e.Run(oo)
 		reports[i] = Report{ID: e.ID, Title: e.Title, Table: tbl,
 			Wall: time.Since(start), Events: ev.Load(),
-			Setup: time.Duration(su.Load()), ImageHits: ih.Load(), ImageMisses: im.Load()}
+			Setup: time.Duration(su.Load()), ImageHits: ih.Load(), ImageMisses: im.Load(),
+			Windows: wc.Stats()}
 	}
 	if o.sem == nil {
 		for i, e := range exps {

@@ -51,7 +51,7 @@ func imageWorkload(m *core.Machine) []core.Result {
 	out = append(out, m.RunJoin(core.JoinQuery{
 		Build: core.ScanSpec{Rel: b, Pred: rel.True()}, BuildAttr: rel.Unique2,
 		Probe: core.ScanSpec{Rel: a, Pred: rel.True()}, ProbeAttr: rel.Unique2,
-		Mode:  core.Remote,
+		Mode: core.Remote,
 	}))
 	out = append(out, m.RunUpdate(core.UpdateQuery{
 		Rel: a, Kind: core.AppendTuple, Tuple: wisconsin.Generate(1, 99)[0],

@@ -249,6 +249,12 @@ func (n *Network) addNode(part *sim.Shard, withDisk bool, diskCfg config.Disk) *
 		CPU:  part.NewResource(fmt.Sprintf("cpu%d", id)),
 		NIC:  part.NewResource(fmt.Sprintf("nic%d", id)),
 	}
+	// Every remote effect a node initiates — data packets (Conn.arrival),
+	// credit returns, control messages, retries — is floored at MinLatency
+	// past its send instant, so the shard can declare that floor to the EOT
+	// window scheduler even when the simulation's global lookahead is
+	// smaller (a sub-floor -lookahead, or a fast-fabric generation).
+	part.SetOutFloor(n.cfg.MinLatency)
 	if withDisk {
 		nd.Drive = disk.NewOn(part, fmt.Sprintf("disk%d", id), diskCfg)
 		nd.SpoolNode = nd

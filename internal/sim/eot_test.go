@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gamma/internal/trace"
+)
+
+// tick emits an order-sensitive trace record on sh: it embeds the current
+// value of *state, so any execution order that diverges from the serial
+// oracle — not just a different merge order — changes the trace bytes.
+func tick(sh *Shard, label string, state *int) {
+	sh.Emit(trace.Event{At: int64(sh.Now()), Kind: "tick", Res: label, N: *state})
+}
+
+// traceBytes runs the simulation and returns the collected JSONL trace.
+func traceBytes(t testing.TB, s *Sim, col *trace.Collector) []byte {
+	t.Helper()
+	s.Run()
+	var buf bytes.Buffer
+	if err := col.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestEOTReactionChainIdentity pins the subtlest soundness requirement of
+// the EOT bound: an idle shard is not a silent shard. Shard A streams local
+// events far past t=20 while shard B — empty at the first barrier — receives
+// A's early message at t=10 and *reacts*, mutating state on A at t=20. The
+// window scheduler must cap A's window at the reaction chain's earliest
+// arrival (vMin plus one floor), not at B's next pending event (infinity),
+// or A's later ticks read the un-mutated state and the trace diverges from
+// the serial oracle.
+func TestEOTReactionChainIdentity(t *testing.T) {
+	const lookahead = 10
+	build := func(s *Sim) {
+		a := s.DefaultShard()
+		b := s.AddShard()
+		x := new(int)
+		a.At(0, func() {
+			a.Send(b, a.Now()+lookahead, func() {
+				tick(b, "b-got", x)
+				b.Send(a, b.Now()+lookahead, func() {
+					*x = 7
+					tick(a, "a-reply", x)
+				})
+			})
+		})
+		// A's local stream: 200 ticks every 3µs, well past the t=20 reply.
+		var chain func(n int) func()
+		chain = func(n int) func() {
+			return func() {
+				tick(a, "a-local", x)
+				if n > 0 {
+					a.After(3, chain(n-1))
+				}
+			}
+		}
+		a.At(0, chain(200))
+	}
+	run := func(workers int) ([]byte, uint64, Time) {
+		s := New()
+		s.Partition(lookahead)
+		s.SetWorkers(workers)
+		col := trace.NewCollector()
+		s.SetSink(col)
+		build(s)
+		tb := traceBytes(t, s, col)
+		return tb, s.Executed(), s.Now()
+	}
+	ref, refExec, refEnd := run(1)
+	if !bytes.Contains(ref, []byte(`"n":7`)) {
+		t.Fatal("reference trace never observed the reaction's mutation")
+	}
+	for _, workers := range []int{2, 4} {
+		got, exec, end := run(workers)
+		if exec != refExec || end != refEnd {
+			t.Errorf("workers=%d: executed/end %d/%v, serial %d/%v", workers, exec, end, refExec, refEnd)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d: trace differs from serial oracle (%d vs %d bytes)", workers, len(got), len(ref))
+		}
+	}
+}
+
+// promiseRing builds a 4-shard token ring (one token per shard) where every
+// arrival starts a burst of `work` step-1µs local events before forwarding
+// the token one floor ahead. With promise=true each arrival promises the
+// burst's end — the send is initiated exactly when the promise expires,
+// mid-window — so the scheduler can size windows by bursts instead of by
+// event heads.
+func promiseRing(s *Sim, promise bool) {
+	const floor, hops, work = Dur(10), 6, 50
+	shards := make([]*Shard, 4)
+	for i := range shards {
+		shards[i] = s.DefaultShard()
+		if s.Partitioned() && i > 0 {
+			shards[i] = s.AddShard()
+		}
+	}
+	zero := new(int)
+	var hop func(i, remaining int) func()
+	hop = func(i, remaining int) func() {
+		return func() {
+			sh := shards[i]
+			if promise {
+				// The burst's first step fires at the arrival instant, so
+				// the token forwards at now + work - 1 — exactly when this
+				// promise expires.
+				sh.Promise(sh.Now() + Dur(work-1))
+			}
+			n := work
+			var step func()
+			step = func() {
+				tick(sh, fmt.Sprintf("n%d", i), zero)
+				n--
+				if n > 0 {
+					sh.After(1, step)
+				} else if remaining > 0 {
+					next := (i + 1) % len(shards)
+					sh.Send(shards[next], sh.Now()+floor, hop(next, remaining-1))
+				}
+			}
+			step()
+		}
+	}
+	for i := range shards {
+		shards[i].At(Time(i), hop(i, hops))
+	}
+}
+
+// TestPromiseExtendsWindows: promises must not change what the simulation
+// computes — traces stay byte-identical to the serial oracle and to the
+// promise-free run — but they must let the EOT scheduler run strictly fewer,
+// larger windows. This also covers promise expiry mid-window: every token
+// hop sends at the exact instant its promise expires, inside a window whose
+// bound extends past it.
+func TestPromiseExtendsWindows(t *testing.T) {
+	run := func(workers int, promise bool) ([]byte, WindowStats) {
+		s := New()
+		s.Partition(10)
+		s.SetWorkers(workers)
+		col := trace.NewCollector()
+		s.SetSink(col)
+		promiseRing(s, promise)
+		tb := traceBytes(t, s, col)
+		return tb, s.WindowStats()
+	}
+	ref, _ := run(1, false)
+	plain, plainStats := run(4, false)
+	promised, promStats := run(4, true)
+	if !bytes.Equal(plain, ref) {
+		t.Error("promise-free parallel trace differs from serial oracle")
+	}
+	if !bytes.Equal(promised, ref) {
+		t.Error("promised parallel trace differs from serial oracle")
+	}
+	if plainStats.Windows == 0 || promStats.Windows == 0 {
+		t.Fatalf("expected parallel windows, got %+v and %+v", plainStats, promStats)
+	}
+	if promStats.Windows >= plainStats.Windows {
+		t.Errorf("promises did not reduce windows: %d with vs %d without",
+			promStats.Windows, plainStats.Windows)
+	}
+	if promStats.Promises == 0 {
+		t.Error("promise calls not counted")
+	}
+}
+
+// TestPromiseViolationPanics: initiating a cross-shard send while the
+// shard's clock is still short of its standing promise breaks the
+// conservative contract in both execution modes.
+func TestPromiseViolationPanics(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		func() {
+			s := New()
+			s.Partition(10)
+			s.SetWorkers(workers)
+			a, b := s.AddShard(), s.AddShard()
+			a.At(0, func() {
+				a.Promise(100)
+				a.Send(b, a.Now()+50, func() {}) // legal floor, illegal promise
+			})
+			b.At(0, func() {})
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: no panic on promise violation", workers)
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "violates the shard's promise") {
+					t.Fatalf("workers=%d: unexpected panic: %v", workers, msg)
+				}
+			}()
+			s.Run()
+		}()
+	}
+}
+
+// TestFloorViolationPanics: output floors and per-channel floors raise the
+// enforced lookahead at the send site, not just the scheduler's bounds.
+func TestFloorViolationPanics(t *testing.T) {
+	cases := []struct {
+		name    string
+		declare func(a, b *Shard)
+	}{
+		{"out-floor", func(a, b *Shard) { a.SetOutFloor(50) }},
+		{"channel-floor", func(a, b *Shard) { a.SetChannelFloor(b, 50) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New()
+			s.Partition(10)
+			s.SetWorkers(2)
+			a, b := s.AddShard(), s.AddShard()
+			tc.declare(a, b)
+			a.At(0, func() {
+				a.Send(b, a.Now()+20, func() {}) // 20 clears lookahead 10, not floor 50
+			})
+			b.At(0, func() {})
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic on floor violation")
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "violates lookahead") || !strings.Contains(msg, "0.000050s") {
+					t.Fatalf("unexpected panic: %v", msg)
+				}
+			}()
+			s.Run()
+		})
+	}
+}
+
+// TestChannelFloorExtendsWindows: declaring the floor a model already obeys
+// changes nothing about the computation — byte-identical traces — but lets
+// the scheduler run fewer, larger windows across that channel.
+func TestChannelFloorExtendsWindows(t *testing.T) {
+	const floor = Dur(50)
+	build := func(s *Sim, declare bool) {
+		a, b := s.DefaultShard(), s.AddShard()
+		if declare {
+			a.SetChannelFloor(b, floor)
+			b.SetChannelFloor(a, floor)
+		}
+		zero := new(int)
+		var hop func(sh, other *Shard, label string, remaining int) func()
+		hop = func(sh, other *Shard, label string, remaining int) func() {
+			return func() {
+				n := 40
+				var step func()
+				step = func() {
+					tick(sh, label, zero)
+					n--
+					if n > 0 {
+						sh.After(1, step)
+					} else if remaining > 0 {
+						sh.Send(other, sh.Now()+floor, hop(other, sh, label, remaining-1))
+					}
+				}
+				step()
+			}
+		}
+		a.At(0, hop(a, b, "a", 5))
+		b.At(0, hop(b, a, "b", 5))
+	}
+	run := func(workers int, declare bool) ([]byte, WindowStats) {
+		s := New()
+		s.Partition(10)
+		s.SetWorkers(workers)
+		col := trace.NewCollector()
+		s.SetSink(col)
+		build(s, declare)
+		tb := traceBytes(t, s, col)
+		return tb, s.WindowStats()
+	}
+	ref, _ := run(1, false)
+	plain, plainStats := run(2, false)
+	floored, floorStats := run(2, true)
+	if !bytes.Equal(plain, ref) || !bytes.Equal(floored, ref) {
+		t.Error("parallel traces differ from serial oracle")
+	}
+	if floorStats.Windows >= plainStats.Windows {
+		t.Errorf("channel floors did not reduce windows: %d with vs %d without",
+			floorStats.Windows, plainStats.Windows)
+	}
+}
+
+// TestWindowStatsAndCounters: the scheduler's statistics are internally
+// consistent, zero on the oracle path (except promise counts, which are
+// mode-independent), and flush into shared WindowCounters like the event
+// counter does.
+func TestWindowStatsAndCounters(t *testing.T) {
+	s := New()
+	s.Partition(10)
+	s.SetWorkers(4)
+	promiseRing(s, true)
+	s.Run()
+	ws := s.WindowStats()
+	if ws.Windows <= 0 {
+		t.Fatalf("no windows recorded: %+v", ws)
+	}
+	if ws.ShardRounds != ws.Windows*int64(s.Shards()) {
+		t.Errorf("ShardRounds %d != Windows %d x shards %d", ws.ShardRounds, ws.Windows, s.Shards())
+	}
+	if ws.ShardWindows <= 0 || ws.ShardWindows > ws.ShardRounds {
+		t.Errorf("ShardWindows %d outside (0, %d]", ws.ShardWindows, ws.ShardRounds)
+	}
+	if occ := ws.Occupancy(); occ <= 0 || occ > 1 {
+		t.Errorf("occupancy %v outside (0, 1]", occ)
+	}
+	if ws.WindowEvents != int64(s.Executed()) {
+		t.Errorf("WindowEvents %d != Executed %d (everything fires in windows here)", ws.WindowEvents, s.Executed())
+	}
+	if ws.Promises != 4*7 {
+		t.Errorf("Promises %d, want one per token arrival (4 tokens x 7 hops incl. start)", ws.Promises)
+	}
+
+	// Serial oracle: no windows, same promise count.
+	ser := New()
+	ser.Partition(10)
+	ser.SetWorkers(1)
+	promiseRing(ser, true)
+	ser.Run()
+	sws := ser.WindowStats()
+	if sws.Windows != 0 || sws.ShardWindows != 0 || sws.WindowEvents != 0 {
+		t.Errorf("serial run recorded window activity: %+v", sws)
+	}
+	if sws.Promises != ws.Promises {
+		t.Errorf("promise count differs by mode: serial %d, windowed %d", sws.Promises, ws.Promises)
+	}
+
+	// Shared counters: Run flushes and zeroes the per-sim statistics.
+	var wc WindowCounters
+	cs := New()
+	cs.Partition(10)
+	cs.SetWorkers(4)
+	cs.SetWindowCounters(&wc)
+	promiseRing(cs, true)
+	cs.Run()
+	if got := wc.Stats(); got != ws {
+		t.Errorf("flushed counters %+v, want %+v", got, ws)
+	}
+	if got := cs.WindowStats(); got != (WindowStats{}) {
+		t.Errorf("per-sim stats not zeroed after flush: %+v", got)
+	}
+}
+
+// TestFloorsAreRaiseOnly: a floor or promise can never be lowered once
+// declared — a neighbor may already hold a window computed from it.
+func TestFloorsAreRaiseOnly(t *testing.T) {
+	s := New()
+	s.Partition(10)
+	a, b := s.AddShard(), s.AddShard()
+	a.SetOutFloor(100)
+	a.SetOutFloor(40)
+	if a.OutFloor() != 100 {
+		t.Errorf("OutFloor lowered to %v", a.OutFloor())
+	}
+	a.SetChannelFloor(b, 200)
+	a.SetChannelFloor(b, 60)
+	if got := a.floorTo(b); got != 200 {
+		t.Errorf("floorTo after lowering attempt = %v, want 200", got)
+	}
+	a.SetChannelFloor(a, 500) // toward itself: no-op
+	if got := a.floorTo(a); got != 100 {
+		t.Errorf("self channel floor took effect: %v", got)
+	}
+	a.Promise(80)
+	a.Promise(30)
+	if a.Promised() != 80 {
+		t.Errorf("promise lowered to %v", a.Promised())
+	}
+}
+
+// TestSameInstantChildKeepsSerialOrder pins the trace-merge fidelity the
+// (At, Ord) key alone cannot provide: ords are per-shard stamps, so a fresh
+// shard's same-instant child of a cross-shard arrival carries a *smaller*
+// ord than both the arrival (minted from the busy sender's large stamp) and
+// a third shard's contemporaneous event — yet serially it fires last of the
+// three, because it is not even scheduled until the arrival's turn. Sorting
+// buffered emissions by key would hoist the child's output to the front;
+// the heads-merge with per-firing sentinels must reproduce the serial
+// interleave instead.
+func TestSameInstantChildKeepsSerialOrder(t *testing.T) {
+	const floor = Dur(10)
+	const T = Time(50)
+	build := func(workers int) (*Sim, *trace.Collector) {
+		s := New()
+		s.Partition(floor)
+		s.SetWorkers(workers)
+		a := s.DefaultShard()
+		b := s.AddShard()
+		c := s.AddShard()
+		// Inflate A's stamp counter so its send carries a large ord.
+		for i := 0; i < 100; i++ {
+			a.At(Time(i%7), func() {})
+		}
+		// The arrival on fresh shard B emits nothing itself, but schedules a
+		// same-instant child (B's first-ever schedule: tiny stamp) that does.
+		a.Send(b, T, func() {
+			n := 1
+			b.At(b.Now(), func() { tick(b, "child", &n) })
+		})
+		// C's contemporaneous event: ord between the child's and the
+		// arrival's. Serially it fires first of the three.
+		m := 2
+		c.At(T, func() { tick(c, "bystander", &m) })
+		col := trace.NewCollector()
+		s.SetSink(col)
+		return s, col
+	}
+	serial, col := build(1)
+	want := traceBytes(t, serial, col)
+	if i, j := bytes.Index(want, []byte("bystander")), bytes.Index(want, []byte("child")); i < 0 || j < 0 || i > j {
+		t.Fatalf("serial oracle order unexpected (bystander at %d, child at %d):\n%s", i, j, want)
+	}
+	for _, w := range []int{2, 3} {
+		s, col := build(w)
+		if got := traceBytes(t, s, col); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d trace differs from serial:\n got: %s\nwant: %s", w, got, want)
+		}
+	}
+}

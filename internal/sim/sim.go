@@ -18,13 +18,17 @@
 // A simulation is normally one shard — one event heap, one clock. Partition
 // splits it into shards (one per simulated node), each owning a private
 // event heap, clock, and the Resources, WaitQs, and Procs homed on it.
-// Shards synchronize conservatively: with a declared lookahead L > 0, a
-// shard may fire every event below min(all shard clocks) + L without
-// consulting its neighbors, because a cross-shard event takes at least L of
-// simulated time to arrive. Run then fans safe shards across worker
-// goroutines, cross-shard sends travel as timestamped events through
-// per-shard inboxes, and trace emission is merge-ordered so the sink sees
-// the one global (at, ord) order a serial run would produce.
+// Shards synchronize conservatively: a cross-shard event must be scheduled
+// at least the declared lookahead L > 0 after its sender's clock, raised by
+// any per-sender output floor (Shard.SetOutFloor) or per-channel floor
+// (Shard.SetChannelFloor) the model declares. Run computes each shard's
+// earliest output time — its next pending event or its standing promise
+// (Shard.Promise), whichever is later — and grants every shard a window
+// bounded by the earliest instant any *other* shard could reach it, chained
+// reactions included. Safe shards fan across worker goroutines, cross-shard
+// sends are staged in sender-private outboxes the coordinator delivers at
+// the next barrier, and trace emission is merge-ordered so the sink sees
+// exactly the emission order a serial run would produce.
 //
 // With lookahead 0 (a model that interacts across shards at the same
 // instant, like the 1988 Gamma network model) no concurrency is admissible;
@@ -35,6 +39,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -99,8 +104,17 @@ type Sim struct {
 	dirty []*Shard
 	tops  topHeap
 
-	// streams is scratch space for the per-window trace merge.
+	// streams and cuts are scratch space for the barrier trace flush:
+	// streams collects the flushable per-shard prefixes, cuts[id] records
+	// each shard's prefix length until the post-merge compaction.
 	streams [][]trace.Keyed
+	cuts    []int
+
+	// EOT window-scheduler statistics (see WindowStats).
+	wWindows      uint64
+	wShardWindows uint64
+	wShardRounds  uint64
+	wcount        *WindowCounters
 
 	executed uint64
 	counter  *atomic.Int64 // optional shared executed-event counter
@@ -128,9 +142,9 @@ func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.trace = 
 // SetSink installs a structured event sink (typically a *trace.Collector)
 // that receives typed records from the kernel and every model built on it;
 // nil disables structured tracing. Under parallel windows the kernel
-// buffers per-shard streams and merges them into the sink in global
-// (at, ord) order at each window barrier, so the sink observes exactly the
-// serialized emission order at any worker count.
+// buffers per-shard streams and merges them into the sink at each window
+// barrier, so the sink observes exactly the serialized emission order at
+// any worker count.
 func (s *Sim) SetSink(sink trace.Sink) { s.sink = sink }
 
 // Sink returns the installed structured event sink, or nil.
@@ -158,6 +172,9 @@ func (s *Sim) Tracing() bool { return s.sink != nil }
 // merged into the sink at the barrier; otherwise it goes straight through.
 func (s *Sim) emitOn(sh *Shard, e trace.Event) {
 	if s.inWindow {
+		if s.sink == nil {
+			return
+		}
 		sh.tbuf = append(sh.tbuf, trace.Keyed{At: int64(sh.now), Ord: sh.firingOrd, Sub: sh.emitIdx, E: e})
 		sh.emitIdx++
 		return
@@ -259,9 +276,21 @@ func (s *Sim) schedule(src, home *Shard, at Time, p *Proc, fn func()) {
 	if s.lookahead > 0 {
 		src.stamp++
 		ord = src.stamp<<shardIDBits | uint64(src.id)
-		if home != src && at < s.clockOf(src)+s.lookahead {
-			panic(fmt.Sprintf("sim: cross-shard event from shard %d to shard %d at %v violates lookahead %v (sender clock %v)",
-				src.id, home.id, at, s.lookahead, s.clockOf(src)))
+		if home != src {
+			// The conservative contract, checked identically in serialized
+			// and windowed execution so the oracle and the parallel run
+			// agree on every violation: the sender must be past its standing
+			// promise, and the event must respect the effective channel
+			// floor (lookahead raised by output/per-channel floors).
+			now := s.clockOf(src)
+			if now < src.quiet {
+				panic(fmt.Sprintf("sim: cross-shard send from shard %d to shard %d at clock %v violates the shard's promise of no output before %v",
+					src.id, home.id, now, src.quiet))
+			}
+			if floor := src.floorTo(home); at < now+floor {
+				panic(fmt.Sprintf("sim: cross-shard event from shard %d to shard %d at %v violates lookahead %v (sender clock %v)",
+					src.id, home.id, at, floor, now))
+			}
 		}
 	} else {
 		// Serialized execution: a single global schedule counter, exactly
@@ -271,7 +300,7 @@ func (s *Sim) schedule(src, home *Shard, at Time, p *Proc, fn func()) {
 	}
 	e := event{at: at, ord: ord, p: p, fn: fn}
 	if s.inWindow && home != src {
-		home.inbox.put(e)
+		src.outbox.put(len(s.shards), home.id, e)
 		return
 	}
 	home.events.push(e)
@@ -663,30 +692,136 @@ func (s *Sim) Executed() uint64 {
 // events/sec even when an experiment runs many sims across goroutines.
 func (s *Sim) SetEventCounter(c *atomic.Int64) { s.counter = c }
 
-// flushCounter adds events fired since the last flush to the shared counter.
+// flushCounter adds events fired since the last flush to the shared event
+// counter, and window statistics to the shared window counters.
 func (s *Sim) flushCounter() {
-	if s.counter == nil {
-		return
+	if s.counter != nil {
+		if n := s.Executed(); n > 0 {
+			s.counter.Add(int64(n))
+			s.executed = 0
+			for _, sh := range s.shards {
+				sh.executed = 0
+			}
+		}
 	}
-	if n := s.Executed(); n > 0 {
-		s.counter.Add(int64(n))
-		s.executed = 0
-		for _, sh := range s.shards {
-			sh.executed = 0
+	if s.wcount != nil {
+		if ws := s.WindowStats(); ws != (WindowStats{}) {
+			s.wcount.Add(ws)
+			s.wWindows, s.wShardWindows, s.wShardRounds = 0, 0, 0
+			for _, sh := range s.shards {
+				sh.wEvents, sh.promised = 0, 0
+			}
 		}
 	}
 }
 
+// WindowStats aggregates the EOT window scheduler's activity for one
+// simulation: how many parallel window rounds ran, how full they were, and
+// how much promise traffic the model supplied. All fields stay zero on
+// serialized runs (the oracle path executes no windows; promises are
+// counted but flushed with the rest).
+type WindowStats struct {
+	Windows      int64 // barrier rounds that dispatched at least one shard
+	ShardWindows int64 // shard-window dispatches (occupancy numerator)
+	ShardRounds  int64 // rounds × shard count (occupancy denominator)
+	WindowEvents int64 // events fired inside parallel windows
+	Promises     int64 // Shard.Promise calls
+}
+
+// Occupancy returns the mean fraction of shards dispatched per window round
+// (0 when no windows ran).
+func (ws WindowStats) Occupancy() float64 {
+	if ws.ShardRounds == 0 {
+		return 0
+	}
+	return float64(ws.ShardWindows) / float64(ws.ShardRounds)
+}
+
+// WindowStats returns the scheduler statistics accumulated since the last
+// flush into shared WindowCounters (or since the run started, when none are
+// installed).
+func (s *Sim) WindowStats() WindowStats {
+	ws := WindowStats{
+		Windows:      int64(s.wWindows),
+		ShardWindows: int64(s.wShardWindows),
+		ShardRounds:  int64(s.wShardRounds),
+	}
+	for _, sh := range s.shards {
+		ws.WindowEvents += int64(sh.wEvents)
+		ws.Promises += int64(sh.promised)
+	}
+	return ws
+}
+
+// WindowCounters accumulates WindowStats across many simulations; Run and
+// RunUntil flush into the installed set on return, mirroring
+// SetEventCounter. The bench runner installs one set per experiment so
+// -json can report window occupancy even when an experiment runs many sims
+// across goroutines.
+type WindowCounters struct {
+	Windows, ShardWindows, ShardRounds, WindowEvents, Promises atomic.Int64
+}
+
+// Add folds ws into the counters.
+func (c *WindowCounters) Add(ws WindowStats) {
+	c.Windows.Add(ws.Windows)
+	c.ShardWindows.Add(ws.ShardWindows)
+	c.ShardRounds.Add(ws.ShardRounds)
+	c.WindowEvents.Add(ws.WindowEvents)
+	c.Promises.Add(ws.Promises)
+}
+
+// Stats returns the accumulated totals.
+func (c *WindowCounters) Stats() WindowStats {
+	return WindowStats{
+		Windows:      c.Windows.Load(),
+		ShardWindows: c.ShardWindows.Load(),
+		ShardRounds:  c.ShardRounds.Load(),
+		WindowEvents: c.WindowEvents.Load(),
+		Promises:     c.Promises.Load(),
+	}
+}
+
+// SetWindowCounters installs a shared window-statistics accumulator; Run
+// and RunUntil flush into it on return and zero the per-sim counters.
+func (s *Sim) SetWindowCounters(c *WindowCounters) { s.wcount = c }
+
 // runWindows executes the partitioned simulation with conservative
-// synchronization on a worker pool. Each round the coordinator drains every
-// shard inbox, computes the global floor T0 = min over shards of their
-// earliest pending event, and releases every shard holding events below
-// T0 + lookahead to the workers; such events cannot be affected by any
-// neighbor, because a cross-shard event sent at or after T0 arrives no
-// earlier than T0 + lookahead. Cross-shard sends made inside the window are
-// buffered in the target's inbox and become visible at the next barrier;
-// per-shard trace streams are merged into the sink in global (at, ord)
-// order at each barrier.
+// earliest-output-time (EOT) windows on a worker pool, in the
+// Chandy–Misra–Bryant style. Each barrier the coordinator delivers the
+// previous window's staged cross-shard sends, flushes every trace event
+// that can no longer be preceded, and computes per-shard window bounds:
+//
+// A shard's earliest output time is eot_i = max(head_i, quiet_i) — it
+// cannot initiate a cross-shard send before its next pending event fires,
+// nor before its standing promise (Shard.Promise) expires. A send from i
+// arrives no earlier than eot_i + floor(i→dst), where the floor is the
+// declared lookahead raised by i's output floor and any per-channel floor.
+// But a shard can also *react*: a message arriving at i at time a can
+// trigger a send initiated at a, so the true earliest initiation is the
+// fixpoint E_i = min(eot_i, min_k≠i(E_k + floor(k→i))). Every chained term
+// passes through some first sender's eot + base floor, so with
+// vMin = min over all shards of (eot_k + base_k) the understatement
+// Ẽ_i = min(eot_i, vMin) ≤ E_i is sound, and shard j may fire every event
+// strictly below
+//
+//	bound_j = min over i≠j of (Ẽ_i + floor(i→j)).
+//
+// The min is computed as a (min, second-min) pass over the shards without
+// per-channel floors — so the frontier shard is bounded by the runner-up
+// rather than by itself — followed by exact terms for the few shards that
+// declare per-channel floors. bound_j is never below the old static
+// T0 + lookahead, and when every other shard is idle or promised far ahead
+// it reaches vMin + floor: two floors past the global frontier, which is
+// what keeps windows large on fabrics whose latency floor is tiny.
+//
+// Windows are ragged (each shard has its own bound), so trace emissions are
+// buffered per shard and flushed at each barrier only up to the global heap
+// floor — below it nothing can fire again, so merged (at, ord, sub) order
+// is final. Cross-shard sends made inside a window are staged in the
+// sender's private outbox and delivered by the coordinator at the next
+// barrier: the parallel phase touches only shard-private state and runs
+// with no locks at all.
 func (s *Sim) runWindows() {
 	if s.trace != nil {
 		panic("sim: SetTrace hook is serial-only; remove it before running with workers > 1")
@@ -708,9 +843,12 @@ func (s *Sim) runWindows() {
 	defer close(work)
 
 	runnable := make([]*Shard, 0, len(s.shards))
+	chanShards := make([]*Shard, 0, 4)
 	for {
+		// Barrier: deliver staged cross-shard sends, then flush every
+		// buffered trace event below the global heap floor.
 		for _, sh := range s.shards {
-			sh.drainInbox()
+			s.drainOutbox(sh)
 		}
 		t0 := infTime
 		for _, sh := range s.shards {
@@ -718,17 +856,81 @@ func (s *Sim) runWindows() {
 				t0 = t
 			}
 		}
+		s.flushWindowTrace(t0)
 		if t0 == infTime {
 			break
 		}
-		bound := t0 + s.lookahead
+
+		// vMin: the earliest possible first hop anywhere in the cluster.
+		vMin := infTime
+		for _, sh := range s.shards {
+			if v := sh.eotPlusBase(); v < vMin {
+				vMin = v
+			}
+		}
+		// (min, second-min) of Ẽ_i + base_i over shards whose outgoing
+		// floors are uniform; shards with a channel floor above their base
+		// floor contribute exact per-destination terms instead. A shard
+		// whose channel floors never exceed its base floor has floorTo ==
+		// baseFloor toward every destination, so the generic term is exact
+		// for it too — that keeps the common all-channels-equal topology
+		// (every nose NIC, the kernelscale ring) out of the O(shards²)
+		// per-destination loop.
+		u1, u2 := infTime, infTime
+		var argU *Shard
+		chanShards = chanShards[:0]
+		for _, sh := range s.shards {
+			if sh.maxChan > sh.baseFloor() {
+				chanShards = append(chanShards, sh)
+				continue
+			}
+			u := sh.eot()
+			if vMin < u {
+				u = vMin
+			}
+			u += sh.baseFloor()
+			if u < u1 {
+				u1, u2, argU = u, u1, sh
+			} else if u < u2 {
+				u2 = u
+			}
+		}
 		runnable = runnable[:0]
 		for _, sh := range s.shards {
-			if t, ok := sh.events.peek(); ok && t < bound {
+			head, ok := sh.events.peek()
+			if !ok {
+				continue
+			}
+			bound := u1
+			if sh == argU {
+				bound = u2
+			}
+			for _, src := range chanShards {
+				if src == sh {
+					continue
+				}
+				e := src.eot()
+				if vMin < e {
+					e = vMin
+				}
+				if c := e + src.floorTo(sh); c < bound {
+					bound = c
+				}
+			}
+			if head < bound {
 				sh.bound = bound
 				runnable = append(runnable, sh)
 			}
 		}
+		if len(runnable) == 0 {
+			// Unreachable: the shard holding the globally earliest event
+			// always clears its own bound, because every inbound term is at
+			// least t0 plus a positive floor. Fail loudly rather than spin.
+			panic("sim: EOT window scheduler stalled with pending events")
+		}
+		s.wWindows++
+		s.wShardWindows += uint64(len(runnable))
+		s.wShardRounds += uint64(len(s.shards))
 		s.inWindow = true
 		if len(runnable) == 1 {
 			// A lone runnable shard needs no hand-off; run it inline under
@@ -743,9 +945,9 @@ func (s *Sim) runWindows() {
 			wg.Wait()
 		}
 		s.inWindow = false
-		s.mergeWindowTrace(runnable)
 		for _, sh := range runnable {
 			if sh.failure != nil {
+				s.flushWindowTrace(infTime)
 				panic(sh.failure.(procPanic).String())
 			}
 		}
@@ -758,6 +960,27 @@ func (s *Sim) runWindows() {
 		}
 	}
 	s.setNow(end)
+}
+
+// drainOutbox delivers sh's staged cross-shard sends into their destination
+// heaps and resets the buckets, retaining their capacity. Coordinator
+// context only — between windows, no shard is executing.
+func (s *Sim) drainOutbox(sh *Shard) {
+	o := &sh.outbox
+	if len(o.dst) == 0 {
+		return
+	}
+	for k, d := range o.dst {
+		home := s.shards[d]
+		evs := o.evs[k]
+		for i := range evs {
+			home.events.push(evs[i])
+		}
+		clear(evs) // release closure/proc references
+		o.evs[k] = evs[:0]
+		o.idx[d] = 0
+	}
+	o.dst = o.dst[:0]
 }
 
 // runShardWindow fires sh's events strictly below sh.bound. It runs on a
@@ -782,9 +1005,21 @@ func (s *Sim) runShardWindow(sh *Shard) {
 		}
 		e := sh.events.pop()
 		sh.now = e.at
+		if s.sink != nil {
+			// One sentinel per firing (Sub -1, zero Event), whether or not
+			// it emits: the barrier merge replays the serialized engine's
+			// pick-the-min-pending-head loop, and a non-emitting firing
+			// still gates that comparison — a same-time child it schedules
+			// can carry a *smaller* ord (a freshly active shard's stamps
+			// are small, an arrival carries its busy sender's large stamp),
+			// so sorting emissions by key alone would hoist the child's
+			// output above its parent's turn. See flushWindowTrace.
+			sh.tbuf = append(sh.tbuf, trace.Keyed{At: int64(e.at), Ord: e.ord, Sub: -1})
+		}
 		sh.firingOrd = e.ord
 		sh.emitIdx = 0
 		sh.executed++
+		sh.wEvents++
 		if e.p != nil {
 			sh.parked--
 			e.p.resume <- struct{}{}
@@ -798,25 +1033,67 @@ func (s *Sim) runShardWindow(sh *Shard) {
 	}
 }
 
-// mergeWindowTrace merges the window's per-shard trace buffers into the
-// sink in global (at, ord, sub) order and resets the buffers.
-func (s *Sim) mergeWindowTrace(runnable []*Shard) {
-	if s.sink == nil {
-		for _, sh := range runnable {
-			sh.tbuf = sh.tbuf[:0]
-		}
-		return
+// flushWindowTrace merges every buffered trace event with At strictly below
+// safeT into the sink in exactly the serialized engine's emission order and
+// retains the rest. Ragged EOT windows let a frontier shard buffer
+// emissions far past its neighbors; those stay parked until no shard can
+// fire below them (the caller passes the global heap floor as safeT — or
+// infTime to flush everything at the end of the run).
+//
+// The merge is a k-way heads-merge of the per-shard buffers, each in firing
+// order and carrying one record per fired event (the Sub -1 sentinels).
+// That replays the serialized engine exactly: serially, the next event to
+// fire is the minimum (at, ord) over the shards' pending heap heads, and
+// below safeT every event has fired on its shard, so each buffer's current
+// head IS that shard's heap head at the corresponding serial moment. A
+// global sort by key would NOT be equivalent — a firing can schedule a
+// same-time child whose ord is smaller than its own (per-shard stamps start
+// small; an arrival carries its busy sender's large stamp), and serially
+// that child's output still comes after its parent's turn. Buffers are
+// nondecreasing in At (a shard's clock never retreats across windows), so
+// the safeT split is a per-shard prefix cut.
+func (s *Sim) flushWindowTrace(safeT Time) {
+	if len(s.cuts) < len(s.shards) {
+		s.cuts = make([]int, len(s.shards))
 	}
 	s.streams = s.streams[:0]
-	for _, sh := range runnable {
-		if len(sh.tbuf) > 0 {
-			s.streams = append(s.streams, sh.tbuf)
+	any := false
+	for _, sh := range s.shards {
+		n := len(sh.tbuf)
+		s.cuts[sh.id] = 0
+		if n == 0 {
+			continue
+		}
+		k := n
+		if sh.tbuf[n-1].At >= int64(safeT) {
+			k = sort.Search(n, func(i int) bool { return sh.tbuf[i].At >= int64(safeT) })
+		}
+		if k == 0 {
+			continue
+		}
+		s.cuts[sh.id] = k
+		any = true
+		if s.sink != nil {
+			s.streams = append(s.streams, sh.tbuf[:k])
 		}
 	}
-	if len(s.streams) > 0 {
-		trace.MergeKeyed(s.streams, s.sink.Emit)
+	if !any {
+		return
 	}
-	for _, sh := range runnable {
-		sh.tbuf = sh.tbuf[:0]
+	if len(s.streams) > 0 {
+		trace.MergeKeyed(s.streams, func(e trace.Event) {
+			if e.Kind != "" { // skip the per-firing sentinels
+				s.sink.Emit(e)
+			}
+		})
+	}
+	for _, sh := range s.shards {
+		k := s.cuts[sh.id]
+		if k == 0 {
+			continue
+		}
+		n := copy(sh.tbuf, sh.tbuf[k:])
+		clear(sh.tbuf[n:]) // drop references to the emitted suffix copies
+		sh.tbuf = sh.tbuf[:n]
 	}
 }

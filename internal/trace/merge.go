@@ -15,7 +15,10 @@ type Keyed struct {
 	E   Event
 }
 
-// keyedLess orders by (At, Ord, Sub) — the global serialized emission order.
+// keyedLess orders by (At, Ord, Sub) — the order the merge's head-to-head
+// comparisons use. This is NOT a global emission order: within one stream a
+// later firing can carry a smaller Ord (stamps are per-shard), and MergeKeyed
+// deliberately preserves stream order in that case.
 func keyedLess(a, b Keyed) bool {
 	if a.At != b.At {
 		return a.At < b.At
@@ -26,10 +29,16 @@ func keyedLess(a, b Keyed) bool {
 	return a.Sub < b.Sub
 }
 
-// MergeKeyed merges streams — each already sorted by (At, Ord, Sub), as a
-// shard's own emission buffer always is — into one globally ordered stream,
-// calling emit for every event in merged order. It allocates only the small
-// per-call cursor heap.
+// MergeKeyed merges streams — each in its shard's firing order, with one
+// record per fired event (sentinels included) and nondecreasing At — into
+// the one stream a serialized run of the same simulation would emit,
+// calling emit for every event in that order. It is a heads-merge: at each
+// step the stream whose current head has the least (At, Ord, Sub) key
+// advances, and a stream's internal order is never reordered. Because every
+// fired event below the flush horizon appears in its stream, each head is
+// exactly its shard's pending-heap head at the corresponding moment of a
+// serialized run, so the comparisons replay the serial engine's
+// pick-the-minimum loop. It allocates only the small per-call cursor heap.
 func MergeKeyed(streams [][]Keyed, emit func(Event)) {
 	// Cursor heap: one entry per non-empty stream, ordered by the head
 	// element's key.
