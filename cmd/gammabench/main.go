@@ -4,9 +4,9 @@
 // Usage:
 //
 //	gammabench [-quick] [-list] [-parallel N] [-json] [-kernel serial|partitioned]
-//	           [-kernel-workers N] [-lookahead US] [-generation NAME]
-//	           [-campaign-seed S] [-campaign-faults N] [-experiment a,b]
-//	           [experiment ...]
+//	           [-kernel-workers N] [-fusion adaptive|off|all] [-lookahead US]
+//	           [-generation NAME] [-campaign-seed S] [-campaign-faults N]
+//	           [-experiment a,b] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs; experiments
 // can be named positionally or as a comma-separated -experiment list (both
@@ -31,12 +31,16 @@
 // inject faults, share machines across concurrent queries, or build
 // Teradata machines always run serialized at lookahead 0.
 // -kernel-workers bounds the goroutines a partitioned simulation may use
-// for conservative windows. -lookahead overrides the derived lookahead in
+// for conservative windows. -fusion selects the partitioned kernel's
+// adaptive shard-fusion mode (DESIGN.md §13): "adaptive" (the default)
+// coalesces shards onto shared heaps when barrier rounds run thin and
+// re-splits them when traffic returns, "off" pins one shard per group, and
+// "all" starts fully fused. -lookahead overrides the derived lookahead in
 // simulated microseconds: 0 forces fully serialized scheduling, a positive
 // value is capped at the latency floor (the largest provably safe value),
 // and -1 (the default) derives it. The GAMMA_KERNEL, GAMMA_KERNEL_WORKERS,
-// and GAMMA_LOOKAHEAD environment variables provide the same knobs to the
-// test suite.
+// GAMMA_FUSION, and GAMMA_LOOKAHEAD environment variables provide the same
+// knobs to the test suite.
 //
 // -generation parameterizes every machine with a named hardware generation
 // (-list-generations enumerates them; the default is gamma1988, the paper's
@@ -84,16 +88,22 @@ type jsonExperiment struct {
 	// experiment ran; all zero when it executed on the serial kernel. The
 	// counts are deterministic (they depend only on the event schedule and
 	// the declared floors/promises, not on worker interleaving).
-	KernelWindows         int64              `json:"kernel_windows,omitempty"`
-	KernelWindowOccupancy float64            `json:"kernel_window_occupancy,omitempty"`
-	KernelEventsPerWindow float64            `json:"kernel_events_per_window,omitempty"`
-	KernelPromises        int64              `json:"kernel_promises,omitempty"`
+	// Every counter key is always present — zero-valued when the serial
+	// kernel ran — so downstream tooling never needs key-presence checks.
+	KernelWindows         int64              `json:"kernel_windows"`
+	KernelWindowOccupancy float64            `json:"kernel_window_occupancy"`
+	KernelEventsPerWindow float64            `json:"kernel_events_per_window"`
+	KernelPromises        int64              `json:"kernel_promises"`
+	KernelGroupWindows    int64              `json:"kernel_group_windows"`
+	KernelFuseOps         int64              `json:"kernel_fuse_ops"`
+	KernelSplitOps        int64              `json:"kernel_split_ops"`
 	Metrics               map[string]float64 `json:"metrics,omitempty"`
 }
 
 type jsonReport struct {
 	Suite      string `json:"suite"`      // "full" or "quick"
 	Kernel     string `json:"kernel"`     // "serial" or "partitioned"
+	Fusion     string `json:"fusion"`     // shard-fusion mode: "adaptive", "off", or "all"
 	Generation string `json:"generation"` // hardware generation the machines were parameterized with
 	// LookaheadUS echoes the -lookahead flag: -1 = derived from the
 	// network latency floor, 0 = forced serialized, else explicit µs.
@@ -116,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit a machine-readable report instead of tables")
 	kernel := fs.String("kernel", "", "simulation `kernel`: serial (default) or partitioned; partitioned shards each machine one-per-node with the serial order as oracle")
 	kernelWorkers := fs.Int("kernel-workers", 0, "worker goroutines per partitioned simulation's conservative windows (models with positive lookahead only)")
+	fusionMode := fs.String("fusion", "", "partitioned-kernel shard-fusion `mode`: adaptive (default), off, or all")
 	lookahead := fs.Int("lookahead", -1, "conservative-window lookahead in simulated `microseconds` for windowed experiments: -1 derives it from the network latency floor, 0 forces serialized scheduling, positive values are capped at the floor")
 	generation := fs.String("generation", "", "hardware `generation` to parameterize the machines with (see -list-generations; default gamma1988)")
 	listGens := fs.Bool("list-generations", false, "list hardware generations and exit")
@@ -184,6 +195,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts.KernelWorkers = *kernelWorkers
+	switch *fusionMode {
+	case "", "adaptive", "off", "all":
+		opts.Fusion = *fusionMode
+	default:
+		fmt.Fprintf(stderr, "gammabench: -fusion must be adaptive, off, or all (got %q)\n", *fusionMode)
+		fs.Usage()
+		return 2
+	}
 	switch {
 	case *lookahead < -1:
 		fmt.Fprintf(stderr, "gammabench: -lookahead must be -1 (derive), 0 (serialize), or a positive microsecond count (got %d)\n", *lookahead)
@@ -253,9 +272,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if kernelName == "" {
 			kernelName = "serial"
 		}
+		fusionName := *fusionMode
+		if fusionName == "" {
+			fusionName = "adaptive"
+		}
 		rep := jsonReport{
 			Suite:            suite,
 			Kernel:           kernelName,
+			Fusion:           fusionName,
 			Generation:       genName,
 			LookaheadUS:      *lookahead,
 			Workers:          *parallel,
@@ -275,9 +299,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				EventsPerSec:     r.EventsPerSec(),
 				ImageCacheHits:   r.ImageHits,
 				ImageCacheMisses: r.ImageMisses,
-				KernelWindows:    r.Windows.Windows,
-				KernelPromises:   r.Windows.Promises,
-				Metrics:          r.Table.Metrics,
+				KernelWindows:      r.Windows.Windows,
+				KernelPromises:     r.Windows.Promises,
+				KernelGroupWindows: r.Windows.GroupWindows,
+				KernelFuseOps:      r.Windows.FuseOps,
+				KernelSplitOps:     r.Windows.SplitOps,
+				Metrics:            r.Table.Metrics,
 			}
 			if r.Windows.Windows > 0 {
 				je.KernelWindowOccupancy = r.Windows.Occupancy()

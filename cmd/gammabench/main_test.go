@@ -194,6 +194,46 @@ func TestRunRejectsBadLookahead(t *testing.T) {
 	}
 }
 
+// TestFusionFlag: -fusion rejects unknown modes before running anything,
+// the rendered tables are byte-identical across every fusion mode on the
+// partitioned kernel (the adaptive policy and the fully-fused start must be
+// invisible to results), and the -json report echoes the mode.
+func TestFusionFlag(t *testing.T) {
+	null := devNull(t)
+	var errBuf bytes.Buffer
+	if code := run([]string{"-fusion", "everything", "table3"}, null, &errBuf); code != 2 {
+		t.Errorf("-fusion with unknown mode: exit code %d, want 2", code)
+	}
+	for _, want := range []string{"-fusion must be", "adaptive", "off", "all"} {
+		if !bytes.Contains(errBuf.Bytes(), []byte(want)) {
+			t.Errorf("unknown-fusion error %q does not mention %q", errBuf.String(), want)
+		}
+	}
+	var byMode [3]bytes.Buffer
+	for i, mode := range []string{"adaptive", "off", "all"} {
+		args := []string{"-quick", "-parallel", "1", "-kernel", "partitioned", "-kernel-workers", "4",
+			"-fusion", mode, "-experiment", "bitvector"}
+		if code := run(args, &byMode[i], null); code != 0 {
+			t.Fatalf("-fusion %s: exit code %d", mode, code)
+		}
+	}
+	if !bytes.Equal(byMode[0].Bytes(), byMode[1].Bytes()) || !bytes.Equal(byMode[0].Bytes(), byMode[2].Bytes()) {
+		t.Error("tables differ across fusion modes")
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-quick", "-json", "-parallel", "1", "-kernel", "partitioned",
+		"-fusion", "all", "-experiment", "table3"}, &out, null); code != 0 {
+		t.Fatalf("-json with -fusion: exit code %d", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if rep.Fusion != "all" {
+		t.Errorf("json fusion = %q, want all", rep.Fusion)
+	}
+}
+
 // TestLookaheadInvariance: at positive lookahead the rendered tables are
 // byte-identical across the serial kernel (the oracle: same partition, one
 // worker), the partitioned kernel at the derived floor, and the partitioned

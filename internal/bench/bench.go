@@ -62,6 +62,14 @@ type Options struct {
 	// force serialized, positive = explicit µs. Only experiments that have
 	// opted into windowed execution are affected.
 	Lookahead sim.Dur
+	// Fusion selects the partitioned kernel's adaptive shard-fusion mode:
+	// "adaptive" (or empty, the default) engages the feedback policy that
+	// coalesces shards when barrier rounds run thin and re-splits them when
+	// traffic returns; "off" pins one shard per group (the pre-fusion
+	// scheduler); "all" starts fully fused and lets the policy probe its
+	// way back out. The GAMMA_FUSION environment variable overrides an
+	// empty value.
+	Fusion string
 
 	// windowedOK marks the experiment as safe for positive-lookahead
 	// windowed execution: its Gamma workload routes every cross-node
@@ -165,6 +173,33 @@ func (o Options) kernelWorkers() int {
 	return 1
 }
 
+// fusion resolves the shard-fusion knob: the explicit Options value, then
+// GAMMA_FUSION, then "adaptive".
+func (o Options) fusion() string {
+	if o.Fusion != "" {
+		return o.Fusion
+	}
+	if f := os.Getenv("GAMMA_FUSION"); f != "" {
+		return f
+	}
+	return "adaptive"
+}
+
+// fusionConfig maps the resolved knob to a kernel policy, or panics on an
+// unknown mode (mirroring the kernel knob's strictness).
+func (o Options) fusionConfig() sim.Fusion {
+	switch f := o.fusion(); f {
+	case "adaptive":
+		return sim.Fusion{}
+	case "off":
+		return sim.Fusion{Off: true}
+	case "all":
+		return sim.Fusion{InitLevel: -1}
+	default:
+		panic(fmt.Sprintf("bench: unknown fusion mode %q (want adaptive, off, or all)", f))
+	}
+}
+
 // windowed marks the experiment's machines as safe for positive-lookahead
 // windows. Experiments opt in at the top of their Run functions.
 func (o Options) windowed() Options {
@@ -243,6 +278,7 @@ func (o Options) newSim() *sim.Sim {
 	case "partitioned":
 		s.Partition(la)
 		s.SetWorkers(o.kernelWorkers())
+		s.SetFusion(o.fusionConfig())
 	default:
 		panic(fmt.Sprintf("bench: unknown kernel %q (want serial or partitioned)", k))
 	}

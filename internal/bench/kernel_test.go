@@ -26,22 +26,28 @@ import (
 	"gamma/internal/wisconsin"
 )
 
-// kernelVariants is the equivalence matrix: the serial oracle and the
-// partitioned kernel serialized and with a worker budget.
+// kernelVariants is the equivalence matrix: the serial oracle, the
+// partitioned kernel serialized and with a worker budget, and the worker
+// budget under each shard-fusion mode. An empty fusion follows the resolved
+// knob (GAMMA_FUSION or adaptive), so the CI fusion matrix reaches the plain
+// w4 variant too; "off" and "all" pin the extremes regardless.
 var kernelVariants = []struct {
 	name    string
 	kernel  string
 	workers int
+	fusion  string
 }{
-	{"serial", "serial", 0},
-	{"partitioned-w1", "partitioned", 1},
-	{"partitioned-w4", "partitioned", 4},
+	{"serial", "serial", 0, ""},
+	{"partitioned-w1", "partitioned", 1, ""},
+	{"partitioned-w4", "partitioned", 4, ""},
+	{"partitioned-w4-unfused", "partitioned", 4, "off"},
+	{"partitioned-w4-fused", "partitioned", 4, "all"},
 }
 
 // suiteArtifacts runs a cross-section of experiments on the given kernel
 // and returns the rendered tables and the JSON result document (the stable
 // parts of the gammabench -json report: wall-clock fields excluded).
-func suiteArtifacts(t *testing.T, kernel string, workers int) (tables, jsonDoc []byte) {
+func suiteArtifacts(t *testing.T, kernel string, workers int, fusion string) (tables, jsonDoc []byte) {
 	t.Helper()
 	// Windowed experiments (table1, fig1, fig9, scaleup, netgen — fig9
 	// exercises joins inside parallel windows, netgen the batched exchange
@@ -59,6 +65,7 @@ func suiteArtifacts(t *testing.T, kernel string, workers int) (tables, jsonDoc [
 	o := tinyOptions()
 	o.Kernel = kernel
 	o.KernelWorkers = workers
+	o.Fusion = fusion
 	reports := RunSuite(exps, o, 2)
 	var tblBuf bytes.Buffer
 	type stable struct {
@@ -84,9 +91,9 @@ func TestKernelEquivalenceSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("suite cross-section is seconds-long; skipped in -short")
 	}
-	refTables, refJSON := suiteArtifacts(t, kernelVariants[0].kernel, kernelVariants[0].workers)
+	refTables, refJSON := suiteArtifacts(t, kernelVariants[0].kernel, kernelVariants[0].workers, kernelVariants[0].fusion)
 	for _, v := range kernelVariants[1:] {
-		tables, js := suiteArtifacts(t, v.kernel, v.workers)
+		tables, js := suiteArtifacts(t, v.kernel, v.workers, v.fusion)
 		if !bytes.Equal(tables, refTables) {
 			t.Errorf("%s: rendered tables differ from serial kernel (%d vs %d bytes)",
 				v.name, len(tables), len(refTables))
@@ -101,15 +108,15 @@ func TestKernelEquivalenceSuite(t *testing.T) {
 // tracedWorkload builds a small traced Gamma machine on the given kernel
 // at the given lookahead, runs a heap selection and an indexed selection,
 // and returns the full trace stream bytes.
-func tracedWorkload(t *testing.T, kernel string, workers int, la sim.Dur) []byte {
+func tracedWorkload(t *testing.T, kernel string, workers int, fusion string, la sim.Dur) []byte {
 	t.Helper()
-	return tracedWorkloadOn(t, config.Default(), kernel, workers, la, nil)
+	return tracedWorkloadOn(t, config.Default(), kernel, workers, fusion, la, nil)
 }
 
 // tracedWorkloadOn is tracedWorkload under explicit hardware parameters,
 // with an optional hook run after the machine is built (floor-tightness
 // tests use it to over-declare a shard's output or channel floor).
-func tracedWorkloadOn(t *testing.T, prm config.Params, kernel string, workers int, la sim.Dur, tweak func(m *core.Machine)) []byte {
+func tracedWorkloadOn(t *testing.T, prm config.Params, kernel string, workers int, fusion string, la sim.Dur, tweak func(m *core.Machine)) []byte {
 	t.Helper()
 	var s *sim.Sim
 	switch kernel {
@@ -125,6 +132,7 @@ func tracedWorkloadOn(t *testing.T, prm config.Params, kernel string, workers in
 		s = sim.New()
 		s.Partition(la)
 		s.SetWorkers(workers)
+		s.SetFusion(Options{Fusion: fusion}.fusionConfig())
 	default:
 		t.Fatalf("unknown kernel %q", kernel)
 	}
@@ -164,9 +172,9 @@ func TestKernelEquivalenceTraces(t *testing.T) {
 		t.Fatal("default params declare no latency floor")
 	}
 	for _, la := range []sim.Dur{0, floor} {
-		ref := tracedWorkload(t, kernelVariants[0].kernel, kernelVariants[0].workers, la)
+		ref := tracedWorkload(t, kernelVariants[0].kernel, kernelVariants[0].workers, kernelVariants[0].fusion, la)
 		for _, v := range kernelVariants[1:] {
-			got := tracedWorkload(t, v.kernel, v.workers, la)
+			got := tracedWorkload(t, v.kernel, v.workers, v.fusion, la)
 			if !bytes.Equal(got, ref) {
 				t.Errorf("%s at lookahead %v: trace stream differs from serial kernel (%d vs %d bytes)",
 					v.name, la, len(got), len(ref))
@@ -212,7 +220,7 @@ func TestLookaheadFloorIsTight(t *testing.T) {
 					t.Fatalf("wrong panic: %v", r)
 				}
 			}()
-			tracedWorkloadOn(t, config.Default(), "partitioned", 1, tc.la, tc.tweak)
+			tracedWorkloadOn(t, config.Default(), "partitioned", 1, "", tc.la, tc.tweak)
 		})
 	}
 }
@@ -229,9 +237,9 @@ func TestKernelEquivalenceGenerations(t *testing.T) {
 	for _, gen := range config.Generations() {
 		prm := gen.Params()
 		la := prm.Net.MinLatency
-		ref := tracedWorkloadOn(t, prm, kernelVariants[0].kernel, kernelVariants[0].workers, la, nil)
+		ref := tracedWorkloadOn(t, prm, kernelVariants[0].kernel, kernelVariants[0].workers, kernelVariants[0].fusion, la, nil)
 		for _, v := range kernelVariants[1:] {
-			got := tracedWorkloadOn(t, prm, v.kernel, v.workers, la, nil)
+			got := tracedWorkloadOn(t, prm, v.kernel, v.workers, v.fusion, la, nil)
 			if !bytes.Equal(got, ref) {
 				t.Errorf("%s on %s: trace stream differs from serial kernel (%d vs %d bytes)",
 					v.name, gen.Name, len(got), len(ref))
@@ -256,4 +264,29 @@ func TestKernelKnobEnvOverride(t *testing.T) {
 	if o.newSim().Partitioned() {
 		t.Error("explicit Options.Kernel did not override the environment")
 	}
+}
+
+// TestFusionKnob: GAMMA_FUSION selects the shard-fusion mode when Options
+// leave it empty, an explicit Options value wins, and unknown modes panic.
+func TestFusionKnob(t *testing.T) {
+	t.Setenv("GAMMA_FUSION", "") // the CI fusion matrix sets it for the process
+	o := Options{}
+	if got := o.fusion(); got != "adaptive" {
+		t.Errorf("default fusion mode = %q, want adaptive", got)
+	}
+	t.Setenv("GAMMA_FUSION", "off")
+	if !o.fusionConfig().Off {
+		t.Error("GAMMA_FUSION=off ignored")
+	}
+	o.Fusion = "all"
+	if f := o.fusionConfig(); f.Off || f.InitLevel != -1 {
+		t.Errorf("explicit Options.Fusion=all did not override the environment: %+v", f)
+	}
+	o.Fusion = "everything"
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown fusion mode did not panic")
+		}
+	}()
+	o.fusionConfig()
 }

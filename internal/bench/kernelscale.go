@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"gamma/internal/config"
+	"gamma/internal/core"
+	"gamma/internal/rel"
 	"gamma/internal/sim"
 )
 
@@ -75,6 +77,73 @@ func buildScaleRing(s *sim.Sim, nodes, hops, work int, floor sim.Dur) {
 	}
 }
 
+// kprobePoint is one real-query probe run: the ring point's fields plus the
+// query's simulated elapsed time.
+type kprobePoint struct {
+	kscalePoint
+	elapsed sim.Dur
+}
+
+// kscaleRealProbe runs one real Gamma query — a 10% non-indexed selection on
+// an 8-node machine — under a pinned kernel configuration, independent of the
+// suite's kernel knobs. The synthetic ring above reports occupancy near 1.0
+// because every shard hosts a token; a real Gamma query leaves most nodes
+// idle most rounds (operators finish at different instants, the host
+// serializes scheduling), which is the regime the adaptive fusion policy
+// exists for. workers <= 1 is the serial oracle; fused and unfused w4 runs
+// must reproduce its event count, end time, and query elapsed exactly.
+func kscaleRealProbe(o Options, prm config.Params, tuples, workers int, f sim.Fusion) kprobePoint {
+	spec := heapRel("Kprobe", tuples, 11)
+	build := func(s *sim.Sim) *core.Machine {
+		m := core.NewMachine(s, &prm, 8, 0)
+		loadSpecRel(m, spec)
+		return m
+	}
+	var ev atomic.Int64
+	var wc sim.WindowCounters
+	s := sim.New()
+	s.Partition(prm.Net.MinLatency)
+	s.SetWorkers(workers)
+	s.SetFusion(f)
+	s.SetEventCounter(&ev)
+	s.SetWindowCounters(&wc)
+	var m *core.Machine
+	setupStart := time.Now()
+	if o.images != nil {
+		key := imageKey{nDisk: 8, prm: prm, rels: relsKey([]relSpec{spec})}
+		snap, hit := o.images.get(key, func() *core.Snapshot {
+			return build(sim.New()).Snapshot()
+		})
+		o.noteImage(hit)
+		m = core.RestoreMachine(s, snap)
+	} else {
+		m = build(s)
+	}
+	o.addSetup(setupStart)
+	r, ok := m.Relation(spec.name)
+	if !ok {
+		panic("kernelscale: probe relation missing from machine image")
+	}
+	start := time.Now()
+	res := m.RunSelect(core.SelectQuery{
+		Scan: core.ScanSpec{Rel: r, Pred: pct(rel.Unique2, tuples, 10), Path: core.PathHeap},
+	})
+	wall := time.Since(start)
+	if res.Err != nil {
+		panic(fmt.Sprintf("kernelscale: probe query failed: %v", res.Err))
+	}
+	if o.events != nil {
+		o.events.Add(ev.Load())
+	}
+	if o.windows != nil {
+		o.windows.Add(wc.Stats())
+	}
+	return kprobePoint{
+		kscalePoint: kscalePoint{events: ev.Load(), end: s.Now(), wall: wall, ws: wc.Stats()},
+		elapsed:     res.Elapsed,
+	}
+}
+
 // runKernelScale sweeps the EOT window scheduler across the hardware
 // generations and worker counts on the synthetic ring above. The serial
 // kernel (one worker) is the oracle and the baseline; two- and four-worker
@@ -105,6 +174,25 @@ func runKernelScale(o Options) *Table {
 	}
 	const work = 24
 
+	// Real-query probes: the same generations, but running an actual Gamma
+	// selection instead of the synthetic ring — serial oracle, unfused w4,
+	// and adaptive w4. Pinned kernel configurations, so these rows are
+	// byte-identical whatever kernel the suite itself runs on.
+	probeTuples := o.FigureTuples
+	if probeTuples > 20000 {
+		probeTuples = 20000
+	}
+	probeCfgs := []struct {
+		name    string
+		workers int
+		f       sim.Fusion
+	}{
+		{"w1", 1, sim.Fusion{Off: true}},
+		{"w4-unfused", 4, sim.Fusion{Off: true}},
+		{"w4-adaptive", 4, sim.Fusion{}},
+	}
+	nP := len(probeCfgs)
+
 	pts := parMap(o, len(gens)*nV, func(i int) kscalePoint {
 		gen, v := gens[i/nV], i%nV
 		prm := gen.Params()
@@ -126,6 +214,11 @@ func runKernelScale(o Options) *Table {
 			o.windows.Add(wc.Stats())
 		}
 		return kscalePoint{events: ev.Load(), end: end, wall: wall, ws: wc.Stats()}
+	})
+
+	probes := parMap(o, len(gens)*nP, func(i int) kprobePoint {
+		gen, c := gens[i/nP], probeCfgs[i%nP]
+		return kscaleRealProbe(o, gen.Params(), probeTuples, c.workers, c.f)
 	})
 
 	t := &Table{
@@ -174,8 +267,53 @@ func runKernelScale(o Options) *Table {
 			}
 		}
 	}
+	// Real-query rows: occupancy and fusion activity on an actual Gamma
+	// selection, where most shards sit idle most rounds — the regime the
+	// synthetic ring's near-1.0 occupancy hides.
+	for gi, gen := range gens {
+		oracle := probes[gi*nP]
+		unfused, adaptive := probes[gi*nP+1], probes[gi*nP+2]
+		for v := 1; v < nP; v++ {
+			pp := probes[gi*nP+v]
+			if pp.events != oracle.events || pp.end != oracle.end || pp.elapsed != oracle.elapsed {
+				panic(fmt.Sprintf("kernelscale: %s real probe (%s) diverged from the serial oracle: %d events to %v (query %v) vs %d to %v (query %v)",
+					gen.Name, probeCfgs[v].name, pp.events, pp.end, pp.elapsed, oracle.events, oracle.end, oracle.elapsed))
+			}
+		}
+		epw := 0.0
+		if adaptive.ws.Windows > 0 {
+			epw = float64(adaptive.ws.WindowEvents) / float64(adaptive.ws.Windows)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%s: real query (8-node 10%% selection)", gen.Name),
+			Cells: []Cell{
+				{Measured: float64(oracle.events)},
+				{Measured: float64(oracle.elapsed) / 1e6},
+				{Measured: float64(adaptive.ws.Windows)},
+				{Measured: adaptive.ws.Occupancy()},
+				{Measured: epw},
+				{Measured: float64(adaptive.ws.Promises)},
+			},
+		})
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s real probe: occupancy %.0f%% adaptive vs %.0f%% unfused (ring: %.0f%%), %.1f events/window, %d fuse / %d split ops",
+			gen.Name, 100*adaptive.ws.Occupancy(), 100*unfused.ws.Occupancy(),
+			100*pts[gi*nV+nV-1].ws.Occupancy(), epw, adaptive.ws.FuseOps, adaptive.ws.SplitOps))
+
+		t.Metrics["real_events_"+gen.Name] = float64(oracle.events)
+		t.Metrics[fmt.Sprintf("real_windows_%s_w4", gen.Name)] = float64(adaptive.ws.Windows)
+		t.Metrics[fmt.Sprintf("real_occupancy_%s_w4", gen.Name)] = adaptive.ws.Occupancy()
+		t.Metrics[fmt.Sprintf("real_occupancy_unfused_%s_w4", gen.Name)] = unfused.ws.Occupancy()
+		t.Metrics[fmt.Sprintf("real_events_per_window_%s_w4", gen.Name)] = epw
+		t.Metrics[fmt.Sprintf("real_fuse_ops_%s_w4", gen.Name)] = float64(adaptive.ws.FuseOps)
+		t.Metrics[fmt.Sprintf("real_split_ops_%s_w4", gen.Name)] = float64(adaptive.ws.SplitOps)
+		for v, c := range probeCfgs {
+			t.Metrics[fmt.Sprintf("wall_real_%s_%s", gen.Name, c.name)] = probes[gi*nP+v].wall.Seconds()
+		}
+	}
 	t.Notes = append(t.Notes,
 		"One worker runs the serial oracle; multi-worker runs must match its event count and end time exactly.",
+		"Real-query rows run a pinned 8-node Gamma selection per kernel config; cells report the adaptive-fusion w4 run.",
 		"Table cells and metrics are deterministic except wall_*/speedup_*, which measure host wall time.")
 	return t
 }

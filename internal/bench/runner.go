@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,7 +77,15 @@ func RunSuite(exps []Experiment, o Options, workers int) []Report {
 		oo.imgMisses = &im
 		oo.windows = &wc
 		start := time.Now()
-		tbl := e.Run(oo)
+		var tbl *Table
+		// Label the experiment's goroutine (and every worker it spawns) so
+		// CPU profiles break down per experiment — `gammabench -cpuprofile`
+		// plus `go tool pprof -tags` attributes window-scheduler cost to the
+		// experiment that paid it, which is the data the fusion policy's
+		// thresholds were tuned from.
+		pprof.Do(context.Background(), pprof.Labels("experiment", e.ID), func(context.Context) {
+			tbl = e.Run(oo)
+		})
 		reports[i] = Report{ID: e.ID, Title: e.Title, Table: tbl,
 			Wall: time.Since(start), Events: ev.Load(),
 			Setup: time.Duration(su.Load()), ImageHits: ih.Load(), ImageMisses: im.Load(),

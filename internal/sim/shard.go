@@ -51,6 +51,11 @@ type Shard struct {
 	// parallel window, bucketed per destination with pooled buffers.
 	outbox outbox
 
+	// grp is the fusion group this shard currently belongs to under the
+	// window scheduler (see fusion.go); rebuilt by the coordinator between
+	// windows, read by schedule to route intra-group sends directly.
+	grp *group
+
 	// Window-scoped trace state: events emitted while firing are buffered
 	// with the firing event's key; the coordinator merges every buffered
 	// event that can no longer be preceded into the sink at each barrier

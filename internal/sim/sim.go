@@ -40,7 +40,6 @@ package sim
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"gamma/internal/trace"
@@ -114,7 +113,24 @@ type Sim struct {
 	wWindows      uint64
 	wShardWindows uint64
 	wShardRounds  uint64
+	wGroupWindows uint64
+	wFuseOps      uint64
+	wSplitOps     uint64
 	wcount        *WindowCounters
+
+	// Adaptive shard fusion state (see fusion.go). groups is the window
+	// scheduler's current partition of the shards into scheduling units;
+	// glevel is the fusion level (group size 2^glevel). The f* fields are
+	// the policy's events-per-round accumulator and probe bookkeeping.
+	fusion     Fusion
+	fuseOn     bool
+	groups     []*group
+	glevel     int
+	fRounds    uint64
+	fEvents    uint64
+	fProbing   bool
+	fProbeWait int
+	fBaseLevel int
 
 	executed uint64
 	counter  *atomic.Int64 // optional shared executed-event counter
@@ -124,7 +140,7 @@ type Sim struct {
 
 // New returns an empty, single-shard simulation with the clock at zero.
 func New() *Sim {
-	s := &Sim{}
+	s := &Sim{fusion: Fusion{}.withDefaults()}
 	s.sh0 = newShard(s, 0)
 	s.shards = []*Shard{s.sh0}
 	return s
@@ -300,11 +316,23 @@ func (s *Sim) schedule(src, home *Shard, at Time, p *Proc, fn func()) {
 	}
 	e := event{at: at, ord: ord, p: p, fn: fn}
 	if s.inWindow && home != src {
+		if g := src.grp; g != nil && g == home.grp {
+			// Intra-group send under fusion: deliver straight into the
+			// member's heap so it can fire inside the same merged window —
+			// the arrival is at least one positive floor past the sender's
+			// clock, so it sorts strictly after the group's current merged
+			// position (see runGroupMerged).
+			home.events.push(e)
+			g.dirty = append(g.dirty, home)
+			return
+		}
 		src.outbox.put(len(s.shards), home.id, e)
 		return
 	}
 	home.events.push(e)
-	if len(s.shards) > 1 && !s.inWindow {
+	if len(s.shards) > 1 && !s.inWindow && home != s.cur {
+		// Pushes to the currently firing shard need no dirty entry: the
+		// merged serial loop re-registers the fired shard unconditionally.
 		s.dirty = append(s.dirty, home)
 	}
 }
@@ -557,6 +585,28 @@ func (s *Sim) runSerial(deadline Time) {
 			break
 		}
 		s.fireSerial(sh, sh.events.pop())
+		// Fast path: refire the same shard while no other shard received a
+		// push and its next head is still at or below the top heap's
+		// minimum. Stale top entries only understate that minimum (a pushed
+		// head always has a fresh entry via dirty; the fired shard needs
+		// none while it is the one firing), so the comparison may leave the
+		// fast path early but never fires out of order. This keeps a query
+		// whose activity sits on one shard for a stretch — the common case
+		// in the serialized experiments — from paying a heap round trip per
+		// event.
+		for len(s.dirty) == 0 {
+			at, ord, ok := sh.events.head()
+			if !ok || at > deadline {
+				break
+			}
+			if len(s.tops) > 0 {
+				top := s.tops[0]
+				if top.at < at || (top.at == at && top.ord < ord) {
+					break
+				}
+			}
+			s.fireSerial(sh, sh.events.pop())
+		}
 		s.refreshTops(sh)
 	}
 }
@@ -708,6 +758,7 @@ func (s *Sim) flushCounter() {
 		if ws := s.WindowStats(); ws != (WindowStats{}) {
 			s.wcount.Add(ws)
 			s.wWindows, s.wShardWindows, s.wShardRounds = 0, 0, 0
+			s.wGroupWindows, s.wFuseOps, s.wSplitOps = 0, 0, 0
 			for _, sh := range s.shards {
 				sh.wEvents, sh.promised = 0, 0
 			}
@@ -726,6 +777,9 @@ type WindowStats struct {
 	ShardRounds  int64 // rounds × shard count (occupancy denominator)
 	WindowEvents int64 // events fired inside parallel windows
 	Promises     int64 // Shard.Promise calls
+	GroupWindows int64 // group dispatches (== ShardWindows when unfused)
+	FuseOps      int64 // adaptive fusion level raises adopted
+	SplitOps     int64 // adaptive fusion level drops adopted
 }
 
 // Occupancy returns the mean fraction of shards dispatched per window round
@@ -745,6 +799,9 @@ func (s *Sim) WindowStats() WindowStats {
 		Windows:      int64(s.wWindows),
 		ShardWindows: int64(s.wShardWindows),
 		ShardRounds:  int64(s.wShardRounds),
+		GroupWindows: int64(s.wGroupWindows),
+		FuseOps:      int64(s.wFuseOps),
+		SplitOps:     int64(s.wSplitOps),
 	}
 	for _, sh := range s.shards {
 		ws.WindowEvents += int64(sh.wEvents)
@@ -760,6 +817,7 @@ func (s *Sim) WindowStats() WindowStats {
 // across goroutines.
 type WindowCounters struct {
 	Windows, ShardWindows, ShardRounds, WindowEvents, Promises atomic.Int64
+	GroupWindows, FuseOps, SplitOps                            atomic.Int64
 }
 
 // Add folds ws into the counters.
@@ -769,6 +827,9 @@ func (c *WindowCounters) Add(ws WindowStats) {
 	c.ShardRounds.Add(ws.ShardRounds)
 	c.WindowEvents.Add(ws.WindowEvents)
 	c.Promises.Add(ws.Promises)
+	c.GroupWindows.Add(ws.GroupWindows)
+	c.FuseOps.Add(ws.FuseOps)
+	c.SplitOps.Add(ws.SplitOps)
 }
 
 // Stats returns the accumulated totals.
@@ -779,6 +840,9 @@ func (c *WindowCounters) Stats() WindowStats {
 		ShardRounds:  c.ShardRounds.Load(),
 		WindowEvents: c.WindowEvents.Load(),
 		Promises:     c.Promises.Load(),
+		GroupWindows: c.GroupWindows.Load(),
+		FuseOps:      c.FuseOps.Load(),
+		SplitOps:     c.SplitOps.Load(),
 	}
 }
 
@@ -826,24 +890,43 @@ func (s *Sim) runWindows() {
 	if s.trace != nil {
 		panic("sim: SetTrace hook is serial-only; remove it before running with workers > 1")
 	}
+	s.glevel = s.initLevel()
+	s.rebuildGroups()
+	s.fRounds, s.fEvents = 0, 0
+	s.fProbing = false
+	s.fProbeWait = s.fusion.ProbePeriods
+
 	nw := s.workers
 	if nw > len(s.shards) {
 		nw = len(s.shards)
 	}
-	work := make(chan *Shard)
-	var wg sync.WaitGroup
+	// Epoch barrier: each round the coordinator publishes the runnable
+	// groups and releases min(workers, runnable) tokens; workers claim
+	// groups with an atomic cursor and the last engaged worker signals the
+	// round done. Compared with a channel-per-group hand-off plus
+	// WaitGroup, a thin round costs one token send and one atomic per
+	// worker instead of a channel round trip per shard.
+	b := &winBarrier{gate: make(chan struct{}, nw), done: make(chan struct{}, 1)}
 	for i := 0; i < nw; i++ {
 		go func() {
-			for sh := range work {
-				s.runShardWindow(sh)
-				wg.Done()
+			for range b.gate {
+				for {
+					k := b.next.Add(1) - 1
+					if k >= int64(len(b.queue)) {
+						break
+					}
+					s.runGroup(b.queue[k])
+				}
+				if b.pending.Add(-1) == 0 {
+					b.done <- struct{}{}
+				}
 			}
 		}()
 	}
-	defer close(work)
+	defer close(b.gate)
 
-	runnable := make([]*Shard, 0, len(s.shards))
-	chanShards := make([]*Shard, 0, 4)
+	runnable := make([]*group, 0, len(s.shards))
+	chanGroups := make([]*group, 0, 4)
 	for {
 		// Barrier: deliver staged cross-shard sends, then flush every
 		// buffered trace event below the global heap floor.
@@ -861,91 +944,119 @@ func (s *Sim) runWindows() {
 			break
 		}
 
+		// Adaptive fusion: between rounds (heaps settled, outboxes empty)
+		// the policy may regroup the shards.
+		s.fusionTick()
+
 		// vMin: the earliest possible first hop anywhere in the cluster.
+		// Bounds are computed per group; at fusion level 0 every group is
+		// a singleton and this is exactly the per-shard computation.
 		vMin := infTime
-		for _, sh := range s.shards {
-			if v := sh.eotPlusBase(); v < vMin {
-				vMin = v
+		for _, g := range s.groups {
+			g.refresh()
+			if g.eot != infTime {
+				if v := g.eot + g.base; v < vMin {
+					vMin = v
+				}
 			}
 		}
-		// (min, second-min) of Ẽ_i + base_i over shards whose outgoing
-		// floors are uniform; shards with a channel floor above their base
-		// floor contribute exact per-destination terms instead. A shard
-		// whose channel floors never exceed its base floor has floorTo ==
-		// baseFloor toward every destination, so the generic term is exact
-		// for it too — that keeps the common all-channels-equal topology
-		// (every nose NIC, the kernelscale ring) out of the O(shards²)
-		// per-destination loop.
+		// (min, second-min) of Ẽ_g + base_g over groups whose outgoing
+		// floors are uniform; groups with a member channel floor above its
+		// base floor contribute exact per-destination terms instead. A
+		// shard whose channel floors never exceed its base floor has
+		// floorTo == baseFloor toward every destination, so the generic
+		// term is exact for it too — that keeps the common
+		// all-channels-equal topology (every nose NIC, the kernelscale
+		// ring) out of the O(groups²) per-destination loop.
 		u1, u2 := infTime, infTime
-		var argU *Shard
-		chanShards = chanShards[:0]
-		for _, sh := range s.shards {
-			if sh.maxChan > sh.baseFloor() {
-				chanShards = append(chanShards, sh)
+		var argU *group
+		chanGroups = chanGroups[:0]
+		for _, g := range s.groups {
+			if g.chanOver {
+				chanGroups = append(chanGroups, g)
 				continue
 			}
-			u := sh.eot()
+			u := g.eot
 			if vMin < u {
 				u = vMin
 			}
-			u += sh.baseFloor()
+			u += g.base
 			if u < u1 {
-				u1, u2, argU = u, u1, sh
+				u1, u2, argU = u, u1, g
 			} else if u < u2 {
 				u2 = u
 			}
 		}
 		runnable = runnable[:0]
-		for _, sh := range s.shards {
-			head, ok := sh.events.peek()
-			if !ok {
+		for _, g := range s.groups {
+			if g.head == infTime {
 				continue
 			}
 			bound := u1
-			if sh == argU {
+			if g == argU {
 				bound = u2
 			}
-			for _, src := range chanShards {
-				if src == sh {
+			for _, src := range chanGroups {
+				if src == g {
 					continue
 				}
-				e := src.eot()
+				e := src.eot
 				if vMin < e {
 					e = vMin
 				}
-				if c := e + src.floorTo(sh); c < bound {
+				if c := e + src.minFloorTo(g); c < bound {
 					bound = c
 				}
 			}
-			if head < bound {
-				sh.bound = bound
-				runnable = append(runnable, sh)
+			if g.head < bound {
+				g.bound = bound
+				g.fired = 0
+				g.active = 0
+				for _, sh := range g.members {
+					if t, ok := sh.events.peek(); ok && t < bound {
+						g.active++
+					}
+				}
+				runnable = append(runnable, g)
 			}
 		}
 		if len(runnable) == 0 {
-			// Unreachable: the shard holding the globally earliest event
+			// Unreachable: the group holding the globally earliest event
 			// always clears its own bound, because every inbound term is at
 			// least t0 plus a positive floor. Fail loudly rather than spin.
 			panic("sim: EOT window scheduler stalled with pending events")
 		}
 		s.wWindows++
-		s.wShardWindows += uint64(len(runnable))
 		s.wShardRounds += uint64(len(s.shards))
+		s.wGroupWindows += uint64(len(runnable))
+		for _, g := range runnable {
+			s.wShardWindows += uint64(g.active)
+		}
 		s.inWindow = true
 		if len(runnable) == 1 {
-			// A lone runnable shard needs no hand-off; run it inline under
+			// A lone runnable group needs no hand-off; run it inline under
 			// the same window semantics so ord stamping and clamping are
 			// identical to the dispatched path.
-			s.runShardWindow(runnable[0])
+			s.runGroup(runnable[0])
 		} else {
-			wg.Add(len(runnable))
-			for _, sh := range runnable {
-				work <- sh
+			b.queue = runnable
+			b.next.Store(0)
+			k := nw
+			if k > len(runnable) {
+				k = len(runnable)
 			}
-			wg.Wait()
+			b.pending.Store(int64(k))
+			for i := 0; i < k; i++ {
+				b.gate <- struct{}{}
+			}
+			<-b.done
 		}
 		s.inWindow = false
-		for _, sh := range runnable {
+		s.fRounds++
+		for _, g := range runnable {
+			s.fEvents += uint64(g.fired)
+		}
+		for _, sh := range s.shards {
 			if sh.failure != nil {
 				s.flushWindowTrace(infTime)
 				panic(sh.failure.(procPanic).String())
@@ -960,6 +1071,20 @@ func (s *Sim) runWindows() {
 		}
 	}
 	s.setNow(end)
+}
+
+// winBarrier is the window scheduler's epoch barrier: queue/next publish
+// the round's work, pending counts engaged workers, gate releases them and
+// done reports the round complete. The coordinator writes queue before
+// sending tokens (the channel send orders the writes) and reads worker
+// results only after done (the last engaged worker's atomic decrement
+// orders every worker's writes before the signal).
+type winBarrier struct {
+	queue   []*group
+	next    atomic.Int64
+	pending atomic.Int64
+	gate    chan struct{}
+	done    chan struct{}
 }
 
 // drainOutbox delivers sh's staged cross-shard sends into their destination
@@ -1013,11 +1138,13 @@ func (s *Sim) runShardWindow(sh *Shard) {
 			// can carry a *smaller* ord (a freshly active shard's stamps
 			// are small, an arrival carries its busy sender's large stamp),
 			// so sorting emissions by key alone would hoist the child's
-			// output above its parent's turn. See flushWindowTrace.
+			// output above its parent's turn. See flushWindowTrace. Without
+			// a sink the sentinels (and the firing bookkeeping they key)
+			// are elided entirely — the merge has nothing to replay.
 			sh.tbuf = append(sh.tbuf, trace.Keyed{At: int64(e.at), Ord: e.ord, Sub: -1})
+			sh.firingOrd = e.ord
+			sh.emitIdx = 0
 		}
-		sh.firingOrd = e.ord
-		sh.emitIdx = 0
 		sh.executed++
 		sh.wEvents++
 		if e.p != nil {
@@ -1053,6 +1180,11 @@ func (s *Sim) runShardWindow(sh *Shard) {
 // nondecreasing in At (a shard's clock never retreats across windows), so
 // the safeT split is a per-shard prefix cut.
 func (s *Sim) flushWindowTrace(safeT Time) {
+	if s.sink == nil {
+		// No collector: sentinels are elided at the firing site, so the
+		// per-shard buffers are empty and there is nothing to merge.
+		return
+	}
 	if len(s.cuts) < len(s.shards) {
 		s.cuts = make([]int, len(s.shards))
 	}
